@@ -1,0 +1,55 @@
+"""Figure 5 — SpMSpV on the synthetic suite (U1-U3, P1-P3), L1 cache.
+
+Paper shapes: in Power-Performance mode SparseAdapt gains ~1.8x
+performance over Baseline and is ~3.5x more energy-efficient than
+Max Cfg while staying within ~34% of its performance; in
+Energy-Efficient mode it gains 1.5-1.9x efficiency over Baseline while
+Max Cfg is ~2.9x *less* efficient than Baseline.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+from repro.experiments.reporting import append_geomean, format_gain_table
+from repro.ml.metrics import geometric_mean
+
+SCHEMES = ("Baseline", "Best Avg", "Max Cfg", "SparseAdapt")
+
+
+def test_fig05_spmspv_synthetic(benchmark, emit):
+    result = run_once(
+        benchmark, figures.figure5_spmspv_synthetic, scale=0.4
+    )
+    blocks = [
+        format_gain_table(
+            "Figure 5 (left) - PP mode GFLOPS gains over Baseline",
+            append_geomean(result["pp_perf"]),
+            SCHEMES,
+        ),
+        format_gain_table(
+            "Figure 5 (middle) - PP mode GFLOPS/W gains over Baseline",
+            append_geomean(result["pp_eff"]),
+            SCHEMES,
+        ),
+        format_gain_table(
+            "Figure 5 (right) - EE mode GFLOPS/W gains over Baseline",
+            append_geomean(result["ee_eff"]),
+            SCHEMES,
+        ),
+    ]
+    emit("\n\n".join(blocks))
+
+    gm = lambda table, scheme: geometric_mean(
+        [table[m][scheme] for m in table]
+    )
+    # SparseAdapt improves efficiency over Baseline in both modes.
+    assert gm(result["ee_eff"], "SparseAdapt") > 1.2
+    assert gm(result["pp_eff"], "SparseAdapt") > 1.0
+    # Max Cfg is markedly less efficient than Baseline.
+    assert gm(result["ee_eff"], "Max Cfg") < 0.7
+    # SparseAdapt is several times more efficient than Max Cfg (PP).
+    assert (
+        gm(result["pp_eff"], "SparseAdapt")
+        > 2.0 * gm(result["pp_eff"], "Max Cfg")
+    )
+    # PP mode buys performance over Baseline.
+    assert gm(result["pp_perf"], "SparseAdapt") > 1.1

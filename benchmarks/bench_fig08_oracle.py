@@ -1,0 +1,60 @@
+"""Figure 8 — upper-bound study: Ideal Static / Ideal Greedy / Oracle.
+
+Paper shapes: SparseAdapt lands within ~13% of the Oracle's performance
+(PP mode) and ~5% of its efficiency; the Oracle shows clear headroom
+over the best static configuration for GFLOPS/W (1.3-1.8x) on the
+irregular inputs.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+from repro.experiments.reporting import append_geomean, format_gain_table
+from repro.ml.metrics import geometric_mean
+
+SCHEMES = ("SparseAdapt", "Ideal Static", "Ideal Greedy", "Oracle")
+
+
+def test_fig08_upper_bounds(benchmark, emit):
+    result = run_once(
+        benchmark, figures.figure8_upper_bounds, scale=0.3, n_samples=48
+    )
+    blocks = [
+        format_gain_table(
+            "Figure 8 - PP mode GFLOPS gains over Baseline",
+            append_geomean(result["pp_perf"]),
+            SCHEMES,
+        ),
+        format_gain_table(
+            "Figure 8 - PP mode GFLOPS/W gains over Baseline",
+            append_geomean(result["pp_eff"]),
+            SCHEMES,
+        ),
+        format_gain_table(
+            "Figure 8 - EE mode GFLOPS/W gains over Baseline",
+            append_geomean(result["ee_eff"]),
+            SCHEMES,
+        ),
+    ]
+    gm = lambda table, scheme: geometric_mean(
+        [table[m][scheme] for m in table]
+    )
+    blocks.append(
+        "SparseAdapt / Oracle efficiency (EE): "
+        f"{gm(result['ee_eff'], 'SparseAdapt') / gm(result['ee_eff'], 'Oracle'):.2f}"
+        "  (paper: within 5%)"
+    )
+    emit("\n\n".join(blocks))
+
+    # The Oracle optimizes exactly GFLOPS/W in EE mode, so on that
+    # metric it must dominate every other scheme (PP-mode tables report
+    # GFLOPS and GFLOPS/W, which are *not* the PP objective t^2*E, so
+    # no dominance is implied there; the metric-level dominance is
+    # asserted in tests/test_baselines.py).
+    ee = result["ee_eff"]
+    assert gm(ee, "Oracle") >= gm(ee, "Ideal Static") * 0.999
+    assert gm(ee, "Oracle") >= gm(ee, "Ideal Greedy") * 0.999
+    # SparseAdapt roams the full 1800-point space while the Oracle is
+    # restricted to the sampled subset, so only near-dominance holds.
+    assert gm(ee, "Oracle") >= gm(ee, "SparseAdapt") * 0.95
+    # SparseAdapt lands within a reasonable factor of the Oracle.
+    assert gm(ee, "SparseAdapt") > 0.5 * gm(ee, "Oracle")

@@ -1,0 +1,77 @@
+"""Figure 9 — effect of decision-tree depth on SparseAdapt's gains.
+
+Paper shape: in Power-Performance mode GFLOPS is more sensitive to
+model complexity than GFLOPS/W; very shallow trees lose gains, and the
+curve flattens (or dips from overfitting) at large depths.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+from repro.experiments.reporting import format_gain_table
+
+DEPTHS = (2, 6, 10, 14, 22)
+
+
+def test_fig09_model_complexity(benchmark, emit):
+    result = run_once(
+        benchmark,
+        figures.figure9_model_complexity,
+        depths=DEPTHS,
+        matrix_ids=("P1", "P3"),
+        scale=0.15,
+    )
+    blocks = []
+    for matrix_id, per_depth in result.items():
+        rows = {
+            f"depth={depth}": per_depth[depth] for depth in DEPTHS
+        }
+        blocks.append(
+            format_gain_table(
+                f"Figure 9 - SparseAdapt gains vs tree depth ({matrix_id},"
+                " PP mode)",
+                rows,
+                ("perf_gain", "efficiency_gain"),
+            )
+        )
+    emit("\n\n".join(blocks))
+
+    for matrix_id, per_depth in result.items():
+        gains = [per_depth[d]["efficiency_gain"] for d in DEPTHS]
+        # All depths produce a working controller.
+        assert all(g > 0.5 for g in gains)
+        # Deep trees should not be worse than the shallowest stub by a
+        # large margin (the model has learned *something* by depth 10).
+        assert per_depth[10]["efficiency_gain"] >= per_depth[2][
+            "efficiency_gain"
+        ] * 0.9
+
+
+def test_fig09_per_parameter_depth(benchmark, emit):
+    """The paper's exact protocol: vary one parameter's tree at a time."""
+    result = run_once(
+        benchmark,
+        figures.figure9_per_parameter_depth,
+        depths=(2, 10),
+        matrix_id="P3",
+        scale=0.15,
+    )
+    rows = {
+        parameter: {f"depth={d}": gain for d, gain in per_depth.items()}
+        for parameter, per_depth in result.items()
+    }
+    emit(
+        format_gain_table(
+            "Figure 9 (per-parameter) - efficiency gain while varying"
+            " one tree's depth (P3, PP mode)",
+            rows,
+            ("depth=2", "depth=10"),
+        )
+    )
+    # Crippling a single tree never helps, and at least one parameter's
+    # tree is depth-sensitive (the paper highlights the clock model).
+    drops = {
+        parameter: per_depth[10] - per_depth[2]
+        for parameter, per_depth in result.items()
+    }
+    assert all(drop >= -0.05 for drop in drops.values())
+    assert max(drops.values()) > 0.02

@@ -1,0 +1,75 @@
+"""Figure 11 — policy sweep (left) and external-bandwidth sweep (right).
+
+Paper shapes: hybrid tolerances of 10-40% beat both the conservative
+and the very permissive extremes; sweeping the external bandwidth
+without retraining, SparseAdapt's efficiency gains exceed 3x over
+Baseline when memory-bound and shrink toward ~1.1x over Best Avg at
+the compute-bound end.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+from repro.experiments.reporting import format_gain_table
+
+TOLERANCES = (0.1, 0.2, 0.4, 0.7, 0.9)
+
+
+def test_fig11_policy_sweep(benchmark, emit):
+    result = run_once(
+        benchmark,
+        figures.figure11_policy_sweep,
+        matrix_ids=("P3", "R12"),
+        tolerances=TOLERANCES,
+        scale=0.15,
+    )
+    blocks = [
+        format_gain_table(
+            f"Figure 11 (left) - policy sweep on {matrix_id} (PP mode)",
+            rows,
+            ("perf_gain", "efficiency_gain"),
+        )
+        for matrix_id, rows in result.items()
+    ]
+    emit("\n\n".join(blocks))
+
+    for rows in result.values():
+        # Every policy yields a functional controller.
+        assert all(r["efficiency_gain"] > 0.5 for r in rows.values())
+        # Some hybrid tolerance is at least as good as both extremes.
+        best_hybrid = max(
+            rows[f"hybrid-{int(t * 100)}%"]["efficiency_gain"]
+            for t in TOLERANCES
+        )
+        assert best_hybrid >= rows["conservative"]["efficiency_gain"] * 0.98
+        assert best_hybrid >= rows["aggressive"]["efficiency_gain"] * 0.98
+
+
+def test_fig11_bandwidth_sweep(benchmark, emit):
+    result = run_once(
+        benchmark,
+        figures.figure11_bandwidth_sweep,
+        matrix_id="P3",
+        bandwidths_gbps=(0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0),
+        scale=0.15,
+    )
+    rows = {
+        f"{bandwidth:g} GB/s": gains for bandwidth, gains in result.items()
+    }
+    emit(
+        format_gain_table(
+            "Figure 11 (right) - EE efficiency gains vs external bandwidth"
+            " (no retraining)",
+            rows,
+            ("over_baseline", "over_best_avg"),
+        )
+    )
+    bandwidths = sorted(result)
+    # Memory-bound end gains exceed the compute-bound end.
+    assert (
+        result[bandwidths[0]]["over_baseline"]
+        > result[bandwidths[-1]]["over_baseline"]
+    )
+    # Strong gains when bandwidth-starved.
+    assert result[bandwidths[0]]["over_baseline"] > 1.5
+    # Still competitive with Best Avg at the compute-bound end.
+    assert result[bandwidths[-1]]["over_best_avg"] > 0.9

@@ -1,0 +1,39 @@
+"""Figure 12 — system-size scaling without retraining.
+
+Paper shape: GFLOPS/W gains of 1.7-2.0x geomean persist while scaling
+the system from 1x8 to 4x16 tiles x GPEs using the model trained on
+the 2x8 system (fixed 1 GB/s bandwidth); DVFS benefits grow with
+system size because larger systems saturate the link sooner.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+from repro.experiments.reporting import append_geomean, format_gain_table
+from repro.ml.metrics import geometric_mean
+
+GEOMETRIES = ((1, 8), (2, 8), (2, 16), (4, 16))
+
+
+def test_fig12_system_size(benchmark, emit):
+    result = run_once(
+        benchmark,
+        figures.figure12_system_size,
+        geometries=GEOMETRIES,
+        scale=0.25,
+    )
+    matrices = list(next(iter(result.values())))
+    rows = {
+        geometry: dict(values) for geometry, values in result.items()
+    }
+    emit(
+        format_gain_table(
+            "Figure 12 - EE GFLOPS/W gains over Baseline while scaling"
+            " the system (2x8-trained model)",
+            append_geomean(rows),
+            matrices,
+        )
+    )
+    for geometry, values in result.items():
+        gm = geometric_mean(list(values.values()))
+        # Gains persist at every geometry without retraining.
+        assert gm > 1.1, f"no gain at {geometry}"

@@ -1,0 +1,25 @@
+"""Section 7 — regular kernels: dynamic control is overkill.
+
+Paper shape: for GeMM and Conv the gap between Ideal Static and the
+Oracle is under ~5%, i.e. a static configuration captures essentially
+all the benefit for regular workloads.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+from repro.experiments.reporting import format_scalar_table
+
+
+def test_sec7_regular_kernels(benchmark, emit):
+    result = run_once(benchmark, figures.section7_regular_kernels)
+    emit(
+        format_scalar_table(
+            "Section 7 - Oracle efficiency headroom over Ideal Static"
+            " (fraction; paper: < 0.05)",
+            result,
+            value_format="{:8.4f}",
+        )
+    )
+    for kernel, gap in result.items():
+        assert gap >= -1e-9, f"oracle worse than static for {kernel}"
+        assert gap < 0.05, f"regular kernel {kernel} shows dynamic headroom"

@@ -1,0 +1,41 @@
+"""Shared benchmark utilities.
+
+Each benchmark regenerates one paper table/figure via the drivers in
+:mod:`repro.experiments.figures`, times the run with pytest-benchmark
+(single round — these are experiment replays, not micro-benchmarks),
+prints the same rows/series the paper reports, and writes them to
+``benchmarks/results/`` so the reproduction record survives pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_configure(config):
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+
+@pytest.fixture()
+def emit(request):
+    """Print a report block and persist it under benchmarks/results/."""
+
+    def _emit(text: str) -> None:
+        name = request.node.name.replace("/", "_")
+        print(f"\n{text}\n")
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Time one full experiment replay."""
+    return benchmark.pedantic(
+        fn, kwargs=kwargs, iterations=1, rounds=1, warmup_rounds=0
+    )

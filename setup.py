@@ -1,0 +1,9 @@
+"""Setup shim for environments without PEP 517 build tooling (no wheel).
+
+All project metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-build-isolation`` on offline machines.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Application pipelines: multi-kernel workloads under one controller.
+
+Public API::
+
+    from repro.apps import (
+        PipelineStage, PipelineResult, concat_traces, run_pipeline,
+        graph_analytics_stages,
+    )
+"""
+
+from repro.apps.graph_suite import graph_analytics_stages
+from repro.apps.pipeline import (
+    PipelineResult,
+    PipelineStage,
+    concat_traces,
+    run_pipeline,
+)
+
+__all__ = [
+    "PipelineStage",
+    "PipelineResult",
+    "concat_traces",
+    "run_pipeline",
+    "graph_analytics_stages",
+]

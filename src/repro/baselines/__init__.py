@@ -1,0 +1,40 @@
+"""Comparison schemes: static points, Ideal Greedy, Oracle, ProfileAdapt.
+
+Public API::
+
+    from repro.baselines import (
+        BASELINE, BEST_AVG_CACHE, BEST_AVG_SPM, MAX_CFG,
+        EpochTable, run_static, ideal_static, ideal_greedy, oracle,
+        profile_adapt,
+    )
+"""
+
+from repro.baselines.greedy import ideal_greedy
+from repro.baselines.oracle import oracle
+from repro.baselines.profileadapt import profile_adapt
+from repro.baselines.static import (
+    BASELINE,
+    BEST_AVG_CACHE,
+    BEST_AVG_SPM,
+    MAX_CFG,
+    ideal_static,
+    run_static,
+    spm_variant,
+    static_configs_for,
+)
+from repro.baselines.table import EpochTable
+
+__all__ = [
+    "BASELINE",
+    "BEST_AVG_CACHE",
+    "BEST_AVG_SPM",
+    "MAX_CFG",
+    "spm_variant",
+    "static_configs_for",
+    "run_static",
+    "ideal_static",
+    "ideal_greedy",
+    "oracle",
+    "profile_adapt",
+    "EpochTable",
+]

@@ -1,0 +1,67 @@
+"""Ideal Greedy dynamic scheme (paper Section 5.3 / Appendix A.7 step 6).
+
+A hypothetical controller with a *perfect* single-epoch predictor: at
+every epoch boundary it switches to whichever sampled configuration
+optimizes the mode's objective for the next epoch alone, including the
+reconfiguration penalty of getting there. It is the upper bound of
+SparseAdapt's Aggressive operation (Section 7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.table import EpochTable
+from repro.core.modes import OptimizationMode
+from repro.core.schedule import EpochRecord, ScheduleResult
+from repro.transmuter.config import HardwareConfig
+
+__all__ = ["ideal_greedy"]
+
+
+def ideal_greedy(
+    table: EpochTable,
+    mode: OptimizationMode,
+    initial: Optional[HardwareConfig] = None,
+) -> ScheduleResult:
+    """Greedy per-epoch optimal schedule over the sampled configs."""
+    times, energies = table.reconfig_matrices()
+    schedule = ScheduleResult(scheme="ideal-greedy")
+    if initial is not None and initial in set(table.configs):
+        current = table.config_index(initial)
+    else:
+        # First epoch: free choice (no incumbent to switch away from).
+        current = None
+    for epoch in range(table.n_epochs):
+        epoch_times = table.times[epoch]
+        epoch_energies = table.energies[epoch]
+        if current is None:
+            move_times = np.zeros_like(epoch_times)
+            move_energies = np.zeros_like(epoch_energies)
+        else:
+            move_times = times[current]
+            move_energies = energies[current]
+        total_times = epoch_times + move_times
+        total_energies = epoch_energies + move_energies
+        if mode is OptimizationMode.ENERGY_EFFICIENT:
+            objective = total_energies
+        else:
+            objective = total_times**2 * total_energies
+        best = int(np.argmin(objective))
+        reconfig = None
+        if current is not None and best != current:
+            reconfig = table.reconfig_cost(
+                table.configs[current], table.configs[best]
+            )
+        schedule.append(
+            EpochRecord(
+                index=epoch,
+                config=table.configs[best],
+                result=table.results[epoch][best],
+                reconfig=reconfig,
+            )
+        )
+        current = best
+    return schedule

@@ -1,0 +1,102 @@
+"""ProfileAdapt comparison scheme (Dubach et al., paper Section 6.4).
+
+ProfileAdapt detects a new phase, switches into a *profiling
+configuration* (every reconfigurable parameter at its maximum), runs
+there while collecting telemetry, then reconfigures to the predicted
+configuration. Per the paper's pessimistic-to-us methodology (Appendix
+A.7 step 8), it is applied *on top of the Ideal Greedy sequence*:
+
+* **naive** — profiles at every epoch boundary (no phase detector);
+* **ideal** — profiles only at epochs where the configuration changes,
+  i.e. assumes a perfect external phase detector (SimPoint-like), which
+  the paper notes is unrealistic for implicit phases.
+
+The profiled epoch is split: the leading fraction runs in the profiling
+configuration (still doing useful work), the remainder in the selected
+configuration; both transition penalties are charged.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.greedy import ideal_greedy
+from repro.baselines.static import MAX_CFG, spm_variant
+from repro.baselines.table import EpochTable
+from repro.core.modes import OptimizationMode
+from repro.core.schedule import EpochRecord, ScheduleResult
+from repro.errors import ConfigError
+from repro.transmuter.config import HardwareConfig
+from repro.transmuter.reconfig import ReconfigCost
+
+__all__ = ["profile_adapt"]
+
+
+def _profiling_config(l1_type: str) -> HardwareConfig:
+    if l1_type == "cache":
+        return MAX_CFG
+    return spm_variant(MAX_CFG)
+
+
+def profile_adapt(
+    table: EpochTable,
+    mode: OptimizationMode,
+    variant: str = "naive",
+    profiling_fraction: float = 0.2,
+) -> ScheduleResult:
+    """ProfileAdapt schedule derived from the Ideal Greedy sequence."""
+    if variant not in ("naive", "ideal"):
+        raise ConfigError(f"unknown ProfileAdapt variant {variant!r}")
+    if not 0.0 < profiling_fraction < 1.0:
+        raise ConfigError("profiling_fraction must be in (0, 1)")
+    greedy = ideal_greedy(table, mode)
+    sequence = greedy.config_sequence()
+    l1_type = table.configs[0].l1_type
+    profiling = _profiling_config(l1_type)
+    schedule = ScheduleResult(scheme=f"profileadapt-{variant}")
+    previous = None
+    for epoch, config in enumerate(sequence):
+        profile_here = variant == "naive" or previous is None or config != previous
+        workload = table.trace.epochs[epoch]
+        if not profile_here:
+            schedule.append(
+                EpochRecord(
+                    index=epoch,
+                    config=config,
+                    result=table.results[epoch][table.config_index(config)],
+                )
+            )
+            previous = config
+            continue
+
+        # Transition into the profiling configuration, run the leading
+        # slice there, then transition to the selected configuration and
+        # run the remainder. Both slices contribute useful work.
+        cost_in = (
+            table.reconfig_cost(previous, profiling)
+            if previous is not None and previous != profiling
+            else None
+        )
+        head = table.machine.simulate_epoch(
+            workload.scaled(profiling_fraction), profiling
+        )
+        schedule.append(
+            EpochRecord(
+                index=epoch,
+                config=profiling,
+                result=head,
+                reconfig=cost_in,
+            )
+        )
+        cost_out: ReconfigCost = table.reconfig_cost(profiling, config)
+        tail = table.machine.simulate_epoch(
+            workload.scaled(1.0 - profiling_fraction), config
+        )
+        schedule.append(
+            EpochRecord(
+                index=epoch,
+                config=config,
+                result=tail,
+                reconfig=cost_out if cost_out.changed else None,
+            )
+        )
+        previous = config
+    return schedule

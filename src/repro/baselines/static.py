@@ -1,0 +1,143 @@
+"""Static (non-reconfiguring) comparison points (paper Table 4 / 5.3).
+
+* **Baseline** — the best-average configuration across the broad
+  application set of the original Transmuter paper.
+* **Best Avg** — the best-average static configuration for the SpMSpM /
+  SpMSpV kernels on this work's datasets (one per L1 type).
+* **Max Cfg** — maximum value of every ordinal parameter, shared caches.
+* **Ideal Static** — the best static configuration *for the specific
+  program and dataset*, selected with hindsight from the sampled space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines.table import EpochTable
+from repro.core.modes import OptimizationMode
+from repro.core.schedule import EpochRecord, ScheduleResult
+from repro.errors import ConfigError
+from repro.kernels.base import KernelTrace
+from repro.transmuter.config import HardwareConfig
+from repro.transmuter.machine import TransmuterModel
+
+__all__ = [
+    "BASELINE",
+    "BEST_AVG_CACHE",
+    "BEST_AVG_SPM",
+    "MAX_CFG",
+    "spm_variant",
+    "static_configs_for",
+    "run_static",
+    "ideal_static",
+]
+
+#: Table 4, row "Baseline".
+BASELINE = HardwareConfig(
+    l1_type="cache",
+    l1_sharing="shared",
+    l2_sharing="shared",
+    l1_kb=4,
+    l2_kb=4,
+    clock_mhz=1000.0,
+    prefetch=4,
+)
+
+#: Table 4, row "Best Avg (L1: cache)".
+BEST_AVG_CACHE = HardwareConfig(
+    l1_type="cache",
+    l1_sharing="private",
+    l2_sharing="shared",
+    l1_kb=4,
+    l2_kb=4,
+    clock_mhz=1000.0,
+    prefetch=0,
+)
+
+#: Table 4, row "Best Avg (L1: SPM)".
+BEST_AVG_SPM = HardwareConfig(
+    l1_type="spm",
+    l1_sharing="private",
+    l2_sharing="private",
+    l1_kb=4,
+    l2_kb=32,
+    clock_mhz=500.0,
+    prefetch=8,
+)
+
+#: Table 4, row "Maximum".
+MAX_CFG = HardwareConfig(
+    l1_type="cache",
+    l1_sharing="shared",
+    l2_sharing="shared",
+    l1_kb=64,
+    l2_kb=64,
+    clock_mhz=1000.0,
+    prefetch=8,
+)
+
+
+def spm_variant(config: HardwareConfig) -> HardwareConfig:
+    """SPM twin of a cache configuration (L1 capacity pinned)."""
+    from dataclasses import replace
+
+    from repro.transmuter.config import SPM_FIXED_L1_KB
+
+    return replace(config, l1_type="spm", l1_kb=SPM_FIXED_L1_KB)
+
+
+def static_configs_for(l1_type: str = "cache") -> Dict[str, HardwareConfig]:
+    """The named static comparison points for one L1 type."""
+    if l1_type == "cache":
+        return {
+            "Baseline": BASELINE,
+            "Best Avg": BEST_AVG_CACHE,
+            "Max Cfg": MAX_CFG,
+        }
+    if l1_type == "spm":
+        return {
+            "Baseline": spm_variant(BASELINE),
+            "Best Avg": BEST_AVG_SPM,
+            "Max Cfg": spm_variant(MAX_CFG),
+        }
+    raise ConfigError(f"unknown l1_type {l1_type!r}")
+
+
+def run_static(
+    machine: TransmuterModel,
+    trace: KernelTrace,
+    config: HardwareConfig,
+    scheme: str = "static",
+) -> ScheduleResult:
+    """Run every epoch of a trace on one fixed configuration."""
+    schedule = ScheduleResult(scheme=scheme)
+    for index, workload in enumerate(trace.epochs):
+        schedule.append(
+            EpochRecord(
+                index=index,
+                config=config,
+                result=machine.simulate_epoch(workload, config),
+            )
+        )
+    return schedule
+
+
+def ideal_static(table: EpochTable, mode: OptimizationMode) -> ScheduleResult:
+    """Best whole-trace static configuration from the sampled space."""
+    best_schedule = None
+    best_metric = float("-inf")
+    for config in table.configs:
+        schedule = ScheduleResult(scheme="ideal-static")
+        for index in range(table.n_epochs):
+            schedule.append(
+                EpochRecord(
+                    index=index,
+                    config=config,
+                    result=table.result(index, config),
+                )
+            )
+        metric = schedule.metric(mode)
+        if metric > best_metric:
+            best_metric = metric
+            best_schedule = schedule
+    return best_schedule

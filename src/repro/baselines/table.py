@@ -1,0 +1,155 @@
+"""Precomputed epoch x configuration result table.
+
+The paper's methodology (Appendix A.7) simulates every epoch under S
+randomly sampled configurations and then *stitches* dynamic schemes
+(Ideal Greedy, Oracle, ProfileAdapt) out of the per-epoch segments.
+:class:`EpochTable` is that table: one machine-model evaluation per
+(epoch, configuration) pair, shared by all schemes so comparisons are
+exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.kernels.base import KernelTrace
+from repro.transmuter.config import HardwareConfig, sample_configs
+from repro.transmuter.machine import EpochResult, TransmuterModel
+from repro.transmuter.reconfig import reconfiguration_cost
+
+__all__ = ["EpochTable"]
+
+
+class EpochTable:
+    """Dense table of machine-model results for a trace.
+
+    Parameters
+    ----------
+    machine:
+        The machine model (geometry + bandwidth) to evaluate on.
+    trace:
+        The kernel trace whose epochs are simulated.
+    configs:
+        The sampled configuration set (paper: S = 256); defaults to a
+        seeded sample including any ``include`` configurations.
+    """
+
+    def __init__(
+        self,
+        machine: TransmuterModel,
+        trace: KernelTrace,
+        configs: Optional[Sequence[HardwareConfig]] = None,
+        n_samples: int = 64,
+        l1_type: str = "cache",
+        seed: int = 0,
+        include: Sequence[HardwareConfig] = (),
+    ) -> None:
+        if configs is None:
+            configs = sample_configs(
+                n_samples, l1_type=l1_type, seed=seed, include=include
+            )
+        if not configs:
+            raise SimulationError("need at least one configuration")
+        if not trace.epochs:
+            raise SimulationError("trace has no epochs")
+        self.machine = machine
+        self.trace = trace
+        self.configs: List[HardwareConfig] = list(configs)
+        self._index: Dict[HardwareConfig, int] = {
+            cfg: i for i, cfg in enumerate(self.configs)
+        }
+        n_epochs = len(trace.epochs)
+        n_configs = len(self.configs)
+        self.results: List[List[EpochResult]] = [
+            [
+                machine.simulate_epoch(workload, config)
+                for config in self.configs
+            ]
+            for workload in trace.epochs
+        ]
+        self.times = np.array(
+            [[r.time_s for r in row] for row in self.results]
+        )
+        self.energies = np.array(
+            [[r.energy_j for r in row] for row in self.results]
+        )
+        assert self.times.shape == (n_epochs, n_configs)
+        # Dirty-data bound for flush costs: the typical bytes written
+        # into the hierarchy per epoch (see reconfiguration_cost).
+        from repro.transmuter import params
+
+        self.dirty_bytes_hint = float(
+            np.median(
+                [w.stores * params.WORD_BYTES for w in trace.epochs]
+            )
+        )
+        self._reconfig_cache: Dict[tuple, tuple] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def n_epochs(self) -> int:
+        return len(self.trace.epochs)
+
+    @property
+    def n_configs(self) -> int:
+        return len(self.configs)
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        return self.machine.memory.bandwidth_bytes_per_s / 1e9
+
+    def config_index(self, config: HardwareConfig) -> int:
+        """Index of a configuration in the sampled set."""
+        if config not in self._index:
+            raise SimulationError(
+                f"configuration {config.describe()} not in the sampled table"
+            )
+        return self._index[config]
+
+    def result(self, epoch: int, config: HardwareConfig) -> EpochResult:
+        """The machine-model result for one (epoch, config) pair."""
+        return self.results[epoch][self.config_index(config)]
+
+    # ------------------------------------------------------------------
+    def reconfig_time_energy(
+        self, source: HardwareConfig, target: HardwareConfig
+    ) -> tuple:
+        """Cached (time, energy) of one configuration transition."""
+        key = (source, target)
+        if key not in self._reconfig_cache:
+            cost = reconfiguration_cost(
+                source,
+                target,
+                self.machine.power,
+                self.bandwidth_gbps,
+                dirty_bytes_hint=self.dirty_bytes_hint,
+            )
+            self._reconfig_cache[key] = (cost.time_s, cost.energy_j)
+        return self._reconfig_cache[key]
+
+    def reconfig_cost(self, source: HardwareConfig, target: HardwareConfig):
+        """Full transition cost with this table's dirty-bytes bound."""
+        return reconfiguration_cost(
+            source,
+            target,
+            self.machine.power,
+            self.bandwidth_gbps,
+            dirty_bytes_hint=self.dirty_bytes_hint,
+        )
+
+    def reconfig_matrices(self) -> tuple:
+        """(time, energy) transition matrices over the sampled configs."""
+        n = self.n_configs
+        times = np.zeros((n, n))
+        energies = np.zeros((n, n))
+        for i, source in enumerate(self.configs):
+            for j, target in enumerate(self.configs):
+                if i == j:
+                    continue
+                times[i, j], energies[i, j] = self.reconfig_time_energy(
+                    source, target
+                )
+        return times, energies

@@ -1,0 +1,279 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print the configuration space, Table-4 static points, and the
+    default machine geometry.
+``suite``
+    List the Table-5 evaluation matrices and their stand-in classes.
+``train``
+    Train a SparseAdapt model on the Table-3 sweep and save it as JSON.
+``run``
+    Evaluate control schemes for one kernel/matrix and print the gains.
+``experiment``
+    Run one of the paper's figure/table drivers and print its report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+
+__all__ = ["main", "build_parser"]
+
+_MODES = {"ee": "energy-efficient", "pp": "power-performance"}
+
+_EXPERIMENTS = (
+    "fig1",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11-policies",
+    "fig11-bandwidth",
+    "fig12",
+    "tab6",
+    "sec64",
+    "sec7",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SparseAdapt (MICRO 2021) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("info", help="describe the modeled system")
+    commands.add_parser("suite", help="list the Table-5 matrices")
+
+    train = commands.add_parser("train", help="train and save a model")
+    train.add_argument("--mode", choices=sorted(_MODES), default="ee")
+    train.add_argument(
+        "--kernel", choices=("spmspm", "spmspv"), default="spmspv"
+    )
+    train.add_argument("--l1-type", choices=("cache", "spm"), default="cache")
+    train.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full hyperparameter grid search (slower)",
+    )
+    train.add_argument("--out", required=True, help="output JSON path")
+
+    run = commands.add_parser("run", help="evaluate schemes on one input")
+    run.add_argument(
+        "--kernel",
+        choices=("spmspm", "spmspv", "bfs", "sssp"),
+        default="spmspm",
+    )
+    run.add_argument("--matrix", default="R03", help="Table-5 id (e.g. R03)")
+    run.add_argument("--scale", type=float, default=0.3)
+    run.add_argument("--mode", choices=sorted(_MODES), default="ee")
+    run.add_argument("--model", help="trained model JSON (default: stock)")
+    run.add_argument(
+        "--bandwidth", type=float, default=1.0, help="off-chip GB/s"
+    )
+    run.add_argument(
+        "--upper-bounds",
+        action="store_true",
+        help="include Ideal Static / Ideal Greedy / Oracle",
+    )
+
+    experiment = commands.add_parser(
+        "experiment", help="run a figure/table driver"
+    )
+    experiment.add_argument("name", choices=_EXPERIMENTS)
+    experiment.add_argument("--scale", type=float, default=None)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+def _mode(label: str):
+    from repro.core.modes import OptimizationMode
+
+    return (
+        OptimizationMode.ENERGY_EFFICIENT
+        if label == "ee"
+        else OptimizationMode.POWER_PERFORMANCE
+    )
+
+
+def _command_info() -> int:
+    from repro.baselines import static_configs_for
+    from repro.transmuter import TransmuterModel, runtime_space, space_size
+
+    machine = TransmuterModel()
+    print(f"repro {__version__} - SparseAdapt reproduction")
+    print(f"default machine: {machine.describe()}")
+    print(
+        f"configuration space: {space_size()} points "
+        f"({len(runtime_space('cache'))} runtime-reachable for L1 cache, "
+        f"{len(runtime_space('spm'))} for L1 SPM)"
+    )
+    print("\nTable-4 static configurations:")
+    for l1_type in ("cache", "spm"):
+        for name, config in static_configs_for(l1_type).items():
+            print(f"  [{l1_type}] {name:9s} {config.describe()}")
+    return 0
+
+
+def _command_suite() -> int:
+    from repro.sparse import suite
+
+    print(f"{'id':4} {'name':24} {'dim':>7} {'nnz':>8}  domain / stand-in")
+    for matrix_id, spec in suite.SUITE.items():
+        print(
+            f"{matrix_id:4} {spec.name:24} {spec.dimension:>7} "
+            f"{spec.nnz:>8}  {spec.domain} / {spec.structure}"
+        )
+    return 0
+
+
+def _command_train(args) -> int:
+    from repro.core import save_model, train_default_model
+
+    model = train_default_model(
+        _mode(args.mode),
+        kernel=args.kernel,
+        l1_type=args.l1_type,
+        quick=not args.full,
+    )
+    save_model(model, args.out)
+    print(f"model saved to {args.out}")
+    print(model.describe())
+    return 0
+
+
+def _command_run(args) -> int:
+    from repro.core import load_model
+    from repro.experiments.harness import (
+        STANDARD_SCHEMES,
+        UPPER_BOUND_SCHEMES,
+        EvaluationContext,
+        build_trace,
+        default_policy_for,
+        evaluate_schemes,
+        gains_over,
+    )
+    from repro.experiments.reporting import format_gain_table
+    from repro.transmuter import TransmuterModel
+
+    trace = build_trace(args.kernel, args.matrix, scale=args.scale)
+    print(f"trace: {trace.name} ({trace.n_epochs} epochs)")
+    model = load_model(args.model) if args.model else None
+    context = EvaluationContext(
+        trace=trace,
+        machine=TransmuterModel(bandwidth_gbps=args.bandwidth),
+        mode=_mode(args.mode),
+        model=model,
+        policy=default_policy_for(
+            "spmspm" if args.kernel == "spmspm" else "spmspv"
+        ),
+    )
+    schemes = (
+        UPPER_BOUND_SCHEMES + ("Best Avg", "Max Cfg")
+        if args.upper_bounds
+        else STANDARD_SCHEMES
+    )
+    results = evaluate_schemes(context, schemes)
+    gains = gains_over(results)
+    rows = {
+        name: {
+            "GFLOPS": values["gflops"],
+            "GFLOPS/W": values["gflops_per_watt"],
+            "perf x": values["perf_gain"],
+            "eff x": values["efficiency_gain"],
+        }
+        for name, values in gains.items()
+    }
+    print(
+        format_gain_table(
+            f"{args.kernel} on {args.matrix} "
+            f"({_mode(args.mode).value} mode, {args.bandwidth:g} GB/s)",
+            rows,
+            ("GFLOPS", "GFLOPS/W", "perf x", "eff x"),
+            value_format="{:8.4f}",
+        )
+    )
+    return 0
+
+
+def _command_experiment(args) -> int:
+    from repro.experiments import figures
+
+    drivers = {
+        "fig1": figures.figure1_motivation,
+        "fig5": figures.figure5_spmspv_synthetic,
+        "fig6": figures.figure6_spmspm_real,
+        "fig7": figures.figure7_spmspv_real,
+        "fig8": figures.figure8_upper_bounds,
+        "fig9": figures.figure9_model_complexity,
+        "fig10": figures.figure10_feature_importance,
+        "fig11-policies": figures.figure11_policy_sweep,
+        "fig11-bandwidth": figures.figure11_bandwidth_sweep,
+        "fig12": figures.figure12_system_size,
+        "tab6": figures.table6_graph_algorithms,
+        "sec64": figures.section64_profileadapt,
+        "sec7": figures.section7_regular_kernels,
+    }
+    driver = drivers[args.name]
+    kwargs = {}
+    if args.scale is not None and args.name not in (
+        "fig1",
+        "fig10",
+        "sec7",
+        "fig11-bandwidth",
+    ):
+        kwargs["scale"] = args.scale
+    result = driver(**kwargs)
+    _pretty_print(result)
+    return 0
+
+
+def _pretty_print(value, indent: int = 0) -> None:
+    pad = "  " * indent
+    if isinstance(value, dict):
+        for key, nested in value.items():
+            if isinstance(nested, dict):
+                print(f"{pad}{key}:")
+                _pretty_print(nested, indent + 1)
+            elif isinstance(nested, float):
+                print(f"{pad}{key}: {nested:.4g}")
+            elif isinstance(nested, list) and len(nested) > 8:
+                print(f"{pad}{key}: [{len(nested)} values]")
+            else:
+                print(f"{pad}{key}: {nested}")
+    else:
+        print(f"{pad}{value}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": lambda: _command_info(),
+        "suite": lambda: _command_suite(),
+        "train": lambda: _command_train(args),
+        "run": lambda: _command_run(args),
+        "experiment": lambda: _command_experiment(args),
+    }
+    try:
+        return handlers[args.command]()
+    except BrokenPipeError:
+        # Output piped into a closed reader (e.g. `| head`): not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

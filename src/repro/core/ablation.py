@@ -1,0 +1,101 @@
+"""Ablations of SparseAdapt's design choices.
+
+The central one is the **configuration echo** (paper Section 4.2): the
+key difference from ProfileAdapt is feeding the *current configuration
+parameters* into the predictive model alongside the counters, which is
+what removes the profiling configuration. Ablating those features
+quantifies their value: a counters-only model must implicitly guess
+what hardware produced the telemetry it sees.
+
+``AblatedSparseAdaptModel`` zeroes the configuration-echo columns both
+at training and at inference, so the trees can never split on them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.dataset import TrainingSet
+from repro.core.model import SparseAdaptModel
+from repro.core.telemetry import feature_names
+from repro.core.training import QUICK_PARAM_GRID, train_model
+from repro.errors import ModelError
+from repro.transmuter.config import HardwareConfig
+from repro.transmuter.counters import PerformanceCounters
+
+__all__ = [
+    "config_feature_indices",
+    "mask_config_features",
+    "AblatedSparseAdaptModel",
+    "train_counters_only_model",
+]
+
+
+def config_feature_indices() -> np.ndarray:
+    """Column indices of the configuration-echo features."""
+    names = feature_names()
+    return np.array(
+        [i for i, name in enumerate(names) if name.startswith("cfg_")]
+    )
+
+
+def mask_config_features(features: np.ndarray) -> np.ndarray:
+    """Zero the configuration-echo columns of a feature matrix."""
+    features = np.array(features, dtype=np.float64, copy=True)
+    if features.ndim == 1:
+        features = features.reshape(1, -1)
+    features[:, config_feature_indices()] = 0.0
+    return features
+
+
+class AblatedSparseAdaptModel(SparseAdaptModel):
+    """Per-parameter ensemble blind to the configuration echo."""
+
+    def predict(
+        self,
+        counters: PerformanceCounters,
+        current: HardwareConfig,
+    ) -> HardwareConfig:
+        from repro.core.telemetry import build_features
+        from repro.transmuter.config import SPM_FIXED_L1_KB
+
+        if current.l1_type != self.l1_type:
+            raise ModelError(
+                f"model trained for l1_type={self.l1_type!r}, "
+                f"got {current.l1_type!r}"
+            )
+        row = mask_config_features(build_features(counters, current))
+        values = {}
+        for name in self.predicted_parameters():
+            prediction = self.trees[name].predict(row)[0]
+            values[name] = self._coerce(name, prediction)
+        if self.l1_type == "spm":
+            values["l1_kb"] = SPM_FIXED_L1_KB
+        return HardwareConfig(l1_type=self.l1_type, **values)
+
+
+def train_counters_only_model(
+    training_set: TrainingSet,
+    l1_type: str = "cache",
+    param_grid: Optional[Dict[str, Sequence]] = None,
+    seed: int = 0,
+) -> AblatedSparseAdaptModel:
+    """Train the ablated (counters-only) model on the same training set."""
+    masked = TrainingSet(
+        features=mask_config_features(training_set.features),
+        labels=training_set.labels,
+        names=training_set.names,
+    )
+    full = train_model(
+        masked,
+        l1_type=l1_type,
+        param_grid=param_grid or QUICK_PARAM_GRID,
+        seed=seed,
+    )
+    return AblatedSparseAdaptModel(
+        trees=full.trees,
+        l1_type=full.l1_type,
+        hyperparameters=full.hyperparameters,
+    )

@@ -1,0 +1,140 @@
+"""The SparseAdapt runtime controller (paper Figure 3a).
+
+At the end of every epoch the controller (i) collects the hardware
+telemetry, (ii) runs the predictive-model ensemble to get the proposed
+configuration for the next epoch, (iii) filters the proposal through
+the reconfiguration cost-aware policy, and (iv) applies the surviving
+changes, charging the transition cost to the next epoch. The host-side
+telemetry/decision latency (50-100 host cycles, Section 3.4) is
+accounted once per epoch.
+
+``telemetry_noise`` injects multiplicative Gaussian noise into the
+counters before inference — a robustness study for real hardware whose
+saturating counters and sampling windows are never exact. The trees
+were trained on clean telemetry, so this measures how gracefully the
+deployed controller degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dataclass_replace
+from typing import Optional
+
+import numpy as np
+
+from repro.core.model import SparseAdaptModel
+from repro.core.modes import OptimizationMode
+from repro.core.policies import HybridPolicy, ReconfigurationPolicy
+from repro.core.schedule import EpochRecord, ScheduleResult
+from repro.errors import ConfigError
+from repro.kernels.base import KernelTrace
+from repro.transmuter import params
+from repro.transmuter.config import HardwareConfig
+from repro.transmuter.machine import TransmuterModel
+from repro.transmuter.reconfig import (
+    host_decision_overhead_s,
+    reconfiguration_cost,
+)
+
+__all__ = ["SparseAdaptController"]
+
+#: Host power attributed to the decision process, watts. The paper
+#: notes telemetry/streaming happens "in the shadow of the workload"
+#: (Section 3.3); only the incremental decision energy is charged.
+_HOST_DECISION_POWER_W = 0.05
+
+
+class SparseAdaptController:
+    """Epoch-granular feedback controller driving the machine model."""
+
+    def __init__(
+        self,
+        model: SparseAdaptModel,
+        machine: TransmuterModel,
+        mode: OptimizationMode,
+        policy: Optional[ReconfigurationPolicy] = None,
+        initial_config: Optional[HardwareConfig] = None,
+        telemetry_noise: float = 0.0,
+        noise_seed: int = 0,
+    ) -> None:
+        if telemetry_noise < 0:
+            raise ConfigError("telemetry_noise must be non-negative")
+        self.model = model
+        self.machine = machine
+        self.mode = mode
+        self.policy = policy or HybridPolicy()
+        self.telemetry_noise = telemetry_noise
+        self._noise_rng = np.random.default_rng(noise_seed)
+        if initial_config is None:
+            initial_config = HardwareConfig(l1_type=model.l1_type)
+        if initial_config.l1_type != model.l1_type:
+            raise ConfigError(
+                "initial configuration and model disagree on the L1 type"
+            )
+        self.initial_config = initial_config
+
+    # ------------------------------------------------------------------
+    @property
+    def bandwidth_gbps(self) -> float:
+        return self.machine.memory.bandwidth_bytes_per_s / 1e9
+
+    def run(self, trace: KernelTrace) -> ScheduleResult:
+        """Execute a kernel trace under closed-loop control."""
+        schedule = ScheduleResult(scheme="sparseadapt")
+        config = self.initial_config
+        pending_reconfig = None
+        last_epoch_time = 0.0
+        overhead = host_decision_overhead_s()
+        for index, workload in enumerate(trace.epochs):
+            result = self.machine.simulate_epoch(workload, config)
+            schedule.append(
+                EpochRecord(
+                    index=index,
+                    config=config,
+                    result=result,
+                    reconfig=pending_reconfig,
+                )
+            )
+            last_epoch_time = result.time_s
+            dirty_hint = workload.stores * params.WORD_BYTES
+            # Telemetry -> inference -> policy -> reconfiguration.
+            counters = self._observe(result.counters)
+            predicted = self.model.predict(counters, config)
+            applied = self.policy.filter(
+                current=config,
+                predicted=predicted,
+                last_epoch_time_s=last_epoch_time,
+                power=self.machine.power,
+                bandwidth_gbps=self.bandwidth_gbps,
+                dirty_bytes_hint=dirty_hint,
+            )
+            pending_reconfig = reconfiguration_cost(
+                config,
+                applied,
+                self.machine.power,
+                self.bandwidth_gbps,
+                dirty_bytes_hint=dirty_hint,
+            )
+            if pending_reconfig.is_free:
+                pending_reconfig = None
+            config = applied
+            schedule.overhead_time_s += overhead
+            schedule.overhead_energy_j += overhead * _HOST_DECISION_POWER_W
+        return schedule
+
+    # ------------------------------------------------------------------
+    def _observe(self, counters):
+        """Telemetry as the host sees it (optionally noisy)."""
+        if self.telemetry_noise <= 0.0:
+            return counters
+        values = counters.as_dict()
+        noisy = {}
+        for name, value in values.items():
+            if name in ("clock_mhz", "l1_capacity_kb", "l2_capacity_kb"):
+                noisy[name] = value  # configuration echoes are exact
+                continue
+            factor = 1.0 + self._noise_rng.normal(0.0, self.telemetry_noise)
+            noisy[name] = max(0.0, value * factor)
+        from repro.transmuter.counters import PerformanceCounters
+
+        return PerformanceCounters(**noisy)

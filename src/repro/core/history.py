@@ -1,0 +1,179 @@
+"""History-based prediction (paper Section 7, "Bridging the Gap").
+
+The paper's proposed extension: "explore using telemetry data from
+multiple past epochs to learn a history-based pattern of program
+execution, borrowing ideas from branch prediction and prefetching."
+
+:class:`HistoryAwareController` implements that idea on top of the
+stock tree ensemble:
+
+* each epoch's telemetry is quantized into a compact *signature*
+  (bandwidth pressure, miss rates, IPC, occupancy buckets);
+* a pattern table — indexed by the window of the last ``history``
+  signatures, like a branch predictor's history register — remembers
+  which configuration ended up being applied the last time this exact
+  telemetry pattern was observed, together with the efficiency it
+  achieved;
+* on a pattern hit whose remembered outcome was at least as good as
+  the current epoch's, the remembered configuration is applied
+  directly (anticipating the recurring phase one epoch sooner and
+  damping prediction oscillation); otherwise the controller falls back
+  to the tree-model + policy path and the table learns the new
+  outcome.
+
+The table is purely online — no extra offline training data is needed,
+matching how branch predictors deploy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.core.controller import _HOST_DECISION_POWER_W, SparseAdaptController
+from repro.core.model import SparseAdaptModel
+from repro.core.modes import OptimizationMode, metric_value
+from repro.core.policies import ReconfigurationPolicy
+from repro.core.schedule import EpochRecord, ScheduleResult
+from repro.errors import ConfigError
+from repro.kernels.base import KernelTrace
+from repro.transmuter import params
+from repro.transmuter.config import HardwareConfig
+from repro.transmuter.counters import PerformanceCounters
+from repro.transmuter.machine import TransmuterModel
+from repro.transmuter.reconfig import (
+    host_decision_overhead_s,
+    reconfiguration_cost,
+)
+
+__all__ = ["quantize_signature", "HistoryAwareController"]
+
+#: Quantization grid: counter name -> bucket edges.
+_SIGNATURE_BUCKETS = {
+    "dram_read_utilization": (0.25, 0.5, 0.75, 0.95),
+    "dram_write_utilization": (0.25, 0.5, 0.75, 0.95),
+    "l1_miss_rate": (0.05, 0.15, 0.35, 0.6),
+    "l2_miss_rate": (0.1, 0.3, 0.6, 0.85),
+    "l1_occupancy": (0.25, 0.5, 0.9),
+    "gpe_ipc": (0.2, 0.5, 0.8),
+    "xbar_contention_ratio": (0.05, 0.2),
+}
+
+
+def quantize_signature(counters: PerformanceCounters) -> Tuple[int, ...]:
+    """Bucketize an epoch's telemetry into a hashable phase signature."""
+    values = counters.as_dict()
+    signature = []
+    for name, edges in _SIGNATURE_BUCKETS.items():
+        value = values[name]
+        bucket = sum(1 for edge in edges if value > edge)
+        signature.append(bucket)
+    return tuple(signature)
+
+
+class HistoryAwareController(SparseAdaptController):
+    """SparseAdapt controller with a branch-predictor-style pattern table.
+
+    Parameters
+    ----------
+    history:
+        Number of past epoch signatures forming the table index (the
+        "history register" length); 1 degenerates to per-signature
+        memoization.
+    """
+
+    def __init__(
+        self,
+        model: SparseAdaptModel,
+        machine: TransmuterModel,
+        mode: OptimizationMode,
+        policy: Optional[ReconfigurationPolicy] = None,
+        initial_config: Optional[HardwareConfig] = None,
+        history: int = 2,
+    ) -> None:
+        super().__init__(model, machine, mode, policy, initial_config)
+        if history < 1:
+            raise ConfigError("history window must be >= 1")
+        self.history = history
+        self.pattern_table: Dict[
+            Tuple[Tuple[int, ...], ...], Tuple[HardwareConfig, float]
+        ] = {}
+        self.pattern_hits = 0
+        self.pattern_lookups = 0
+
+    # ------------------------------------------------------------------
+    def run(self, trace: KernelTrace) -> ScheduleResult:
+        """Execute a trace under history-augmented closed-loop control."""
+        schedule = ScheduleResult(scheme="sparseadapt-history")
+        config = self.initial_config
+        pending_reconfig = None
+        overhead = host_decision_overhead_s()
+        window: Deque[Tuple[int, ...]] = deque(maxlen=self.history)
+
+        for index, workload in enumerate(trace.epochs):
+            result = self.machine.simulate_epoch(workload, config)
+            schedule.append(
+                EpochRecord(
+                    index=index,
+                    config=config,
+                    result=result,
+                    reconfig=pending_reconfig,
+                )
+            )
+            window.append(quantize_signature(result.counters))
+            epoch_metric = metric_value(
+                self.mode,
+                max(workload.flops, 1.0),
+                result.time_s,
+                result.energy_j,
+            )
+            dirty_hint = workload.stores * params.WORD_BYTES
+
+            applied = None
+            key = tuple(window)
+            if len(window) == self.history:
+                self.pattern_lookups += 1
+                remembered = self.pattern_table.get(key)
+                if remembered is not None:
+                    remembered_config, remembered_metric = remembered
+                    if remembered_metric >= epoch_metric:
+                        self.pattern_hits += 1
+                        applied = remembered_config
+
+            if applied is None:
+                predicted = self.model.predict(result.counters, config)
+                applied = self.policy.filter(
+                    current=config,
+                    predicted=predicted,
+                    last_epoch_time_s=result.time_s,
+                    power=self.machine.power,
+                    bandwidth_gbps=self.bandwidth_gbps,
+                    dirty_bytes_hint=dirty_hint,
+                )
+
+            if len(window) == self.history:
+                # Learn/refresh: the configuration chosen after this
+                # pattern, tagged with the efficiency the pattern's
+                # epoch achieved (to avoid replaying poor choices).
+                self.pattern_table[key] = (applied, epoch_metric)
+
+            pending_reconfig = reconfiguration_cost(
+                config,
+                applied,
+                self.machine.power,
+                self.bandwidth_gbps,
+                dirty_bytes_hint=dirty_hint,
+            )
+            if pending_reconfig.is_free:
+                pending_reconfig = None
+            config = applied
+            schedule.overhead_time_s += overhead
+            schedule.overhead_energy_j += overhead * _HOST_DECISION_POWER_W
+        return schedule
+
+    @property
+    def pattern_hit_rate(self) -> float:
+        """Fraction of lookups served by the pattern table."""
+        if self.pattern_lookups == 0:
+            return 0.0
+        return self.pattern_hits / self.pattern_lookups

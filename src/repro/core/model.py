@@ -1,0 +1,130 @@
+"""The SparseAdapt predictive model: one decision tree per parameter.
+
+The model is "an ensemble of independent functions f_i" (Section 4.1)
+under the conditional-independence assumption: each runtime parameter
+gets its own classifier mapping the telemetry feature vector to that
+parameter's best value. Inference is a handful of tree traversals —
+cheap enough to run every epoch on the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.telemetry import build_features, feature_groups, feature_names
+from repro.errors import ModelError
+from repro.ml.metrics import grouped_importance
+from repro.transmuter.config import (
+    RUNTIME_PARAMETERS,
+    SPM_FIXED_L1_KB,
+    HardwareConfig,
+)
+from repro.transmuter.counters import PerformanceCounters
+
+__all__ = ["SparseAdaptModel"]
+
+
+@dataclass
+class SparseAdaptModel:
+    """Fitted per-parameter classifier ensemble.
+
+    Attributes
+    ----------
+    trees:
+        Mapping from runtime parameter name to a fitted classifier
+        (anything exposing ``predict``/``feature_importances_``).
+    l1_type:
+        The compile-time L1 memory type this model was trained for.
+    hyperparameters:
+        The selected hyperparameters per tree (for inspection).
+    """
+
+    trees: Dict[str, object]
+    l1_type: str = "cache"
+    hyperparameters: Dict[str, dict] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        expected = set(self.predicted_parameters())
+        missing = expected - set(self.trees)
+        if missing:
+            raise ModelError(f"missing trees for parameters: {sorted(missing)}")
+
+    # ------------------------------------------------------------------
+    def predicted_parameters(self) -> List[str]:
+        """Runtime parameters this model predicts (SPM pins l1_kb)."""
+        if self.l1_type == "spm":
+            return [p for p in RUNTIME_PARAMETERS if p != "l1_kb"]
+        return list(RUNTIME_PARAMETERS)
+
+    def predict(
+        self,
+        counters: PerformanceCounters,
+        current: HardwareConfig,
+    ) -> HardwareConfig:
+        """Best configuration for the next epoch given this epoch's
+        telemetry and the configuration it ran on."""
+        if current.l1_type != self.l1_type:
+            raise ModelError(
+                f"model trained for l1_type={self.l1_type!r}, "
+                f"got {current.l1_type!r}"
+            )
+        row = build_features(counters, current).reshape(1, -1)
+        values = {}
+        for name in self.predicted_parameters():
+            prediction = self.trees[name].predict(row)[0]
+            values[name] = self._coerce(name, prediction)
+        if self.l1_type == "spm":
+            values["l1_kb"] = SPM_FIXED_L1_KB
+        return HardwareConfig(l1_type=self.l1_type, **values)
+
+    @staticmethod
+    def _coerce(name: str, value):
+        """Cast numpy label types back to the config's native types."""
+        if name in ("l1_sharing", "l2_sharing"):
+            return str(value)
+        if name == "clock_mhz":
+            return float(value)
+        return int(value)
+
+    # ------------------------------------------------------------------
+    def feature_importance(self, parameter: str) -> np.ndarray:
+        """Per-feature Gini importance of one parameter's tree."""
+        if parameter not in self.trees:
+            raise ModelError(f"no tree for parameter {parameter!r}")
+        importances = self.trees[parameter].feature_importances_
+        if importances is None:
+            raise ModelError(f"tree for {parameter!r} is not fitted")
+        return importances
+
+    def grouped_feature_importance(
+        self, parameter: str
+    ) -> Dict[str, float]:
+        """Figure-10 style importance grouped by counter class."""
+        return grouped_importance(
+            self.feature_importance(parameter), feature_groups()
+        )
+
+    def importance_table(self) -> Dict[str, Dict[str, float]]:
+        """Grouped importances for every predicted parameter."""
+        return {
+            name: self.grouped_feature_importance(name)
+            for name in self.predicted_parameters()
+        }
+
+    @staticmethod
+    def feature_names() -> List[str]:
+        """Names of the feature vector the trees consume."""
+        return feature_names()
+
+    def describe(self) -> str:
+        """One line per tree: depth and leaf count."""
+        lines = []
+        for name in self.predicted_parameters():
+            tree = self.trees[name]
+            depth = tree.depth() if hasattr(tree, "depth") else "?"
+            leaves = tree.n_leaves() if hasattr(tree, "n_leaves") else "?"
+            lines.append(f"{name}: depth={depth} leaves={leaves}")
+        return "\n".join(lines)

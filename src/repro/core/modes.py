@@ -1,0 +1,59 @@
+"""Optimization modes (paper Section 1).
+
+SparseAdapt operates under one of two objectives:
+
+* **Energy-Efficient** — maximize GFLOPS/W. Since GFLOPS/W equals
+  ``flops / energy`` and the program's flops are fixed, this is
+  equivalent to minimizing total energy.
+* **Power-Performance** — maximize GFLOPS^3/W, i.e.
+  ``flops^3 / (time^2 * energy)``; equivalent to minimizing
+  ``time^2 * energy`` (an ED^2-like product favouring performance).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import SimulationError
+
+__all__ = ["OptimizationMode", "metric_value", "cost_value"]
+
+
+class OptimizationMode(enum.Enum):
+    """The two SparseAdapt objectives."""
+
+    ENERGY_EFFICIENT = "energy-efficient"
+    POWER_PERFORMANCE = "power-performance"
+
+    @property
+    def metric_name(self) -> str:
+        if self is OptimizationMode.ENERGY_EFFICIENT:
+            return "GFLOPS/W"
+        return "GFLOPS^3/W"
+
+
+def metric_value(
+    mode: OptimizationMode, flops: float, time_s: float, energy_j: float
+) -> float:
+    """The mode's figure of merit (higher is better)."""
+    if time_s <= 0 or energy_j <= 0:
+        raise SimulationError("time and energy must be positive")
+    gflops = flops / time_s / 1e9
+    watts = energy_j / time_s
+    if mode is OptimizationMode.ENERGY_EFFICIENT:
+        return gflops / watts
+    return gflops**3 / watts
+
+
+def cost_value(mode: OptimizationMode, time_s: float, energy_j: float) -> float:
+    """Equivalent *minimization* objective for fixed flops.
+
+    Energy-Efficient minimizes energy; Power-Performance minimizes
+    ``time^2 * energy``. Used by the greedy and oracle schedulers,
+    where additive/scalarizable costs are needed.
+    """
+    if time_s < 0 or energy_j < 0:
+        raise SimulationError("time and energy must be non-negative")
+    if mode is OptimizationMode.ENERGY_EFFICIENT:
+        return energy_j
+    return time_s * time_s * energy_j

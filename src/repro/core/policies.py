@@ -1,0 +1,160 @@
+"""Reconfiguration cost-aware prediction policies (paper Section 4.4).
+
+The predictive model proposes a configuration for the next epoch; a
+policy then decides, per parameter, whether applying the change is
+worth its reconfiguration cost:
+
+* **Aggressive** — always applies the prediction.
+* **Conservative** — never applies a change costing more than a fixed
+  time budget (in practice this blocks the flush-inducing fine-grained
+  changes and lets the super-fine ones through).
+* **Hybrid** — applies a change only if its time cost is within a
+  tolerance fraction of the previous epoch's elapsed time, penalizing
+  bursts of expensive reconfiguration in short epochs while allowing
+  occasional ones in long epochs. The paper finds 10-40 % tolerances
+  best (Figure 11 left) and uses 40 % for SpMSpV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.transmuter.config import HardwareConfig
+from repro.transmuter.power import PowerModel
+from repro.transmuter.reconfig import changed_parameters, parameter_change_cost
+
+__all__ = [
+    "ReconfigurationPolicy",
+    "AggressivePolicy",
+    "ConservativePolicy",
+    "HybridPolicy",
+    "policy_from_name",
+]
+
+
+class ReconfigurationPolicy:
+    """Filters a predicted configuration against reconfiguration cost."""
+
+    name = "base"
+
+    def filter(
+        self,
+        current: HardwareConfig,
+        predicted: HardwareConfig,
+        last_epoch_time_s: float,
+        power: PowerModel,
+        bandwidth_gbps: float,
+        dirty_bytes_hint=None,
+    ) -> HardwareConfig:
+        """Return the configuration to actually apply."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _apply_per_parameter(
+        self,
+        current: HardwareConfig,
+        predicted: HardwareConfig,
+        power: PowerModel,
+        bandwidth_gbps: float,
+        accept,
+        dirty_bytes_hint=None,
+    ) -> HardwareConfig:
+        """Shared per-knob walk: ``accept(cost)`` decides each change."""
+        config = current
+        for name in changed_parameters(current, predicted):
+            cost = parameter_change_cost(
+                config, predicted, name, power, bandwidth_gbps,
+                dirty_bytes_hint=dirty_bytes_hint,
+            )
+            if accept(cost):
+                config = config.with_value(name, predicted.get(name))
+        return config
+
+
+class AggressivePolicy(ReconfigurationPolicy):
+    """Always follow the model's prediction."""
+
+    name = "aggressive"
+
+    def filter(
+        self,
+        current: HardwareConfig,
+        predicted: HardwareConfig,
+        last_epoch_time_s: float,
+        power: PowerModel,
+        bandwidth_gbps: float,
+        dirty_bytes_hint=None,
+    ) -> HardwareConfig:
+        return predicted
+
+
+class ConservativePolicy(ReconfigurationPolicy):
+    """Skip any single-parameter change costing more than a fixed time."""
+
+    name = "conservative"
+
+    def __init__(self, max_cost_s: float = 5e-6) -> None:
+        if max_cost_s < 0:
+            raise ConfigError("max_cost_s must be non-negative")
+        self.max_cost_s = max_cost_s
+
+    def filter(
+        self,
+        current: HardwareConfig,
+        predicted: HardwareConfig,
+        last_epoch_time_s: float,
+        power: PowerModel,
+        bandwidth_gbps: float,
+        dirty_bytes_hint=None,
+    ) -> HardwareConfig:
+        return self._apply_per_parameter(
+            current,
+            predicted,
+            power,
+            bandwidth_gbps,
+            accept=lambda cost: cost.time_s <= self.max_cost_s,
+            dirty_bytes_hint=dirty_bytes_hint,
+        )
+
+
+class HybridPolicy(ReconfigurationPolicy):
+    """Allow a change when its cost is a small fraction of the epoch."""
+
+    name = "hybrid"
+
+    def __init__(self, tolerance: float = 0.40) -> None:
+        if tolerance < 0:
+            raise ConfigError("tolerance must be non-negative")
+        self.tolerance = tolerance
+
+    def filter(
+        self,
+        current: HardwareConfig,
+        predicted: HardwareConfig,
+        last_epoch_time_s: float,
+        power: PowerModel,
+        bandwidth_gbps: float,
+        dirty_bytes_hint=None,
+    ) -> HardwareConfig:
+        budget = self.tolerance * max(last_epoch_time_s, 0.0)
+        return self._apply_per_parameter(
+            current,
+            predicted,
+            power,
+            bandwidth_gbps,
+            accept=lambda cost: cost.time_s <= budget,
+            dirty_bytes_hint=dirty_bytes_hint,
+        )
+
+
+def policy_from_name(name: str, **kwargs) -> ReconfigurationPolicy:
+    """Instantiate a policy by its paper name."""
+    policies = {
+        "aggressive": AggressivePolicy,
+        "conservative": ConservativePolicy,
+        "hybrid": HybridPolicy,
+    }
+    if name not in policies:
+        raise ConfigError(f"unknown policy {name!r}")
+    return policies[name](**kwargs)

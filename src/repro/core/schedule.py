@@ -1,0 +1,149 @@
+"""Schedule result containers shared by SparseAdapt and all baselines.
+
+A *schedule* is the sequence of configurations a scheme chose for the
+trace's epochs, together with the predicted per-epoch results and any
+reconfiguration costs paid at epoch boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.modes import OptimizationMode, metric_value
+from repro.errors import SimulationError
+from repro.transmuter.config import HardwareConfig
+from repro.transmuter.machine import EpochResult
+from repro.transmuter.reconfig import ReconfigCost
+
+__all__ = ["EpochRecord", "ScheduleResult"]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One executed epoch: the chosen configuration, the machine-model
+    outcome, and the transition cost paid *before* the epoch ran."""
+
+    index: int
+    config: HardwareConfig
+    result: EpochResult
+    reconfig: Optional[ReconfigCost] = None
+
+    @property
+    def time_s(self) -> float:
+        extra = self.reconfig.time_s if self.reconfig else 0.0
+        return self.result.time_s + extra
+
+    @property
+    def energy_j(self) -> float:
+        extra = self.reconfig.energy_j if self.reconfig else 0.0
+        return self.result.energy_j + extra
+
+
+@dataclass
+class ScheduleResult:
+    """Aggregate outcome of running a whole trace under one scheme."""
+
+    scheme: str
+    records: List[EpochRecord] = field(default_factory=list)
+    overhead_time_s: float = 0.0  # host telemetry/decision time
+    overhead_energy_j: float = 0.0
+
+    # ------------------------------------------------------------------
+    def append(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_reconfigurations(self) -> int:
+        return sum(
+            1
+            for record in self.records
+            if record.reconfig is not None and record.reconfig.changed
+        )
+
+    @property
+    def total_flops(self) -> float:
+        return sum(record.result.flops for record in self.records)
+
+    @property
+    def total_time_s(self) -> float:
+        return (
+            sum(record.time_s for record in self.records)
+            + self.overhead_time_s
+        )
+
+    @property
+    def total_energy_j(self) -> float:
+        return (
+            sum(record.energy_j for record in self.records)
+            + self.overhead_energy_j
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def gflops(self) -> float:
+        return self.total_flops / max(self.total_time_s, 1e-15) / 1e9
+
+    @property
+    def gflops_per_watt(self) -> float:
+        return self.total_flops / max(self.total_energy_j, 1e-18) / 1e9
+
+    @property
+    def average_power_w(self) -> float:
+        return self.total_energy_j / max(self.total_time_s, 1e-15)
+
+    def metric(self, mode: OptimizationMode) -> float:
+        """The mode's figure of merit for the whole schedule."""
+        if not self.records:
+            raise SimulationError("empty schedule has no metric")
+        return metric_value(
+            mode, self.total_flops, self.total_time_s, self.total_energy_j
+        )
+
+    def config_sequence(self) -> List[HardwareConfig]:
+        """Configuration chosen for each epoch, in order."""
+        return [record.config for record in self.records]
+
+    def energy_breakdown(self) -> dict:
+        """Component energies aggregated across the schedule, joules.
+
+        ``reconfiguration`` collects the transition costs;
+        ``host_overhead`` the telemetry/decision energy.
+        """
+        totals = {
+            "core_dynamic": 0.0,
+            "l1_dynamic": 0.0,
+            "l2_dynamic": 0.0,
+            "xbar_dynamic": 0.0,
+            "dram": 0.0,
+            "leakage": 0.0,
+            "reconfiguration": 0.0,
+        }
+        for record in self.records:
+            breakdown = record.result.energy
+            totals["core_dynamic"] += breakdown.core_dynamic
+            totals["l1_dynamic"] += breakdown.l1_dynamic
+            totals["l2_dynamic"] += breakdown.l2_dynamic
+            totals["xbar_dynamic"] += breakdown.xbar_dynamic
+            totals["dram"] += breakdown.dram
+            totals["leakage"] += breakdown.leakage
+            if record.reconfig is not None:
+                totals["reconfiguration"] += record.reconfig.energy_j
+        totals["host_overhead"] = self.overhead_energy_j
+        return totals
+
+    def summary(self) -> dict:
+        """Loggable scalar summary."""
+        return {
+            "scheme": self.scheme,
+            "epochs": self.n_epochs,
+            "reconfigurations": self.n_reconfigurations,
+            "time_ms": self.total_time_s * 1e3,
+            "energy_mj": self.total_energy_j * 1e3,
+            "gflops": self.gflops,
+            "gflops_per_watt": self.gflops_per_watt,
+        }

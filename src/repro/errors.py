@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors such
+as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ShapeError(ReproError):
+    """An operation received operands with incompatible shapes."""
+
+
+class FormatError(ReproError):
+    """A sparse-matrix container was constructed with inconsistent arrays."""
+
+
+class ConfigError(ReproError):
+    """A hardware configuration is outside the supported parameter space."""
+
+
+class ModelError(ReproError):
+    """A predictive model was used before fitting, or fit on bad data."""
+
+
+class SimulationError(ReproError):
+    """The machine model was driven with an invalid workload or state."""

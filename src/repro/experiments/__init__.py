@@ -1,0 +1,45 @@
+"""Experiment harness and per-figure drivers.
+
+Public API::
+
+    from repro.experiments import harness, figures, reporting
+    from repro.experiments.harness import build_trace, evaluate_schemes
+"""
+
+from repro.experiments import characterize, export, figures, harness, reporting
+from repro.experiments.characterize import (
+    PhaseProfile,
+    characterize as characterize_trace,
+    format_characterization,
+)
+from repro.experiments.export import gains_to_csv, schedule_to_csv, write_csv
+from repro.experiments.harness import (
+    STANDARD_SCHEMES,
+    UPPER_BOUND_SCHEMES,
+    EvaluationContext,
+    build_trace,
+    default_policy_for,
+    evaluate_schemes,
+    gains_over,
+)
+
+__all__ = [
+    "figures",
+    "harness",
+    "reporting",
+    "characterize",
+    "export",
+    "PhaseProfile",
+    "characterize_trace",
+    "format_characterization",
+    "schedule_to_csv",
+    "gains_to_csv",
+    "write_csv",
+    "STANDARD_SCHEMES",
+    "UPPER_BOUND_SCHEMES",
+    "EvaluationContext",
+    "build_trace",
+    "default_policy_for",
+    "evaluate_schemes",
+    "gains_over",
+]

@@ -1,0 +1,104 @@
+"""Workload characterization: summarize a trace's phases.
+
+A library utility for understanding *why* the controller behaves the
+way it does on a workload: per explicit phase, the epoch count and the
+distributions of the implicit-phase signals (stride, reuse locality,
+sharing, skew, live working set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.kernels.base import KernelTrace
+
+__all__ = ["PhaseProfile", "characterize", "format_characterization"]
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    """Summary statistics of one explicit phase."""
+
+    phase: str
+    n_epochs: int
+    total_fp_ops: float
+    total_flops: float
+    arithmetic_intensity: float  # flops per compulsory DRAM byte
+    mean_stride: float
+    mean_reuse_locality: float
+    mean_shared_fraction: float
+    mean_work_skew: float
+    resident_kb_p50: float
+    resident_kb_p95: float
+    implicit_variability: float  # CV of per-epoch live working sets
+
+
+def characterize(trace: KernelTrace) -> List[PhaseProfile]:
+    """Per-phase profiles, in first-appearance order."""
+    if not trace.epochs:
+        raise SimulationError("cannot characterize an empty trace")
+    order: List[str] = []
+    groups: Dict[str, list] = {}
+    for epoch in trace.epochs:
+        if epoch.phase not in groups:
+            groups[epoch.phase] = []
+            order.append(epoch.phase)
+        groups[epoch.phase].append(epoch)
+
+    profiles = []
+    for phase in order:
+        epochs = groups[phase]
+        live = np.array([e.live_set_bytes for e in epochs])
+        read_bytes = sum(e.read_bytes_compulsory for e in epochs)
+        flops = sum(e.flops for e in epochs)
+        profiles.append(
+            PhaseProfile(
+                phase=phase,
+                n_epochs=len(epochs),
+                total_fp_ops=sum(e.fp_ops for e in epochs),
+                total_flops=flops,
+                arithmetic_intensity=flops / max(read_bytes, 1.0),
+                mean_stride=float(
+                    np.mean([e.stride_fraction for e in epochs])
+                ),
+                mean_reuse_locality=float(
+                    np.mean([e.reuse_locality for e in epochs])
+                ),
+                mean_shared_fraction=float(
+                    np.mean([e.shared_fraction for e in epochs])
+                ),
+                mean_work_skew=float(
+                    np.mean([e.work_skew for e in epochs])
+                ),
+                resident_kb_p50=float(np.percentile(live, 50)) / 1024.0,
+                resident_kb_p95=float(np.percentile(live, 95)) / 1024.0,
+                implicit_variability=float(
+                    live.std() / live.mean() if live.mean() > 0 else 0.0
+                ),
+            )
+        )
+    return profiles
+
+
+def format_characterization(trace: KernelTrace) -> str:
+    """Readable text table of :func:`characterize`."""
+    profiles = characterize(trace)
+    header = (
+        f"{'phase':>10} {'epochs':>7} {'flops':>12} {'AI':>6} "
+        f"{'stride':>7} {'reuse':>6} {'shared':>7} {'skew':>6} "
+        f"{'ws p50':>8} {'ws p95':>8} {'var':>6}"
+    )
+    lines = [f"workload: {trace.name}", header, "-" * len(header)]
+    for p in profiles:
+        lines.append(
+            f"{p.phase:>10} {p.n_epochs:>7} {p.total_flops:>12.3g} "
+            f"{p.arithmetic_intensity:>6.2f} {p.mean_stride:>7.2f} "
+            f"{p.mean_reuse_locality:>6.2f} {p.mean_shared_fraction:>7.2f} "
+            f"{p.mean_work_skew:>6.2f} {p.resident_kb_p50:>7.1f}k "
+            f"{p.resident_kb_p95:>7.1f}k {p.implicit_variability:>6.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""CSV export of schedules and gain tables.
+
+The paper's artifact emits "tarballs containing raw CSV results";
+these helpers provide the same raw-data escape hatch so downstream
+plotting never has to re-run a simulation.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+from repro.core.schedule import ScheduleResult
+from repro.errors import SimulationError
+from repro.kernels.base import KernelTrace
+
+__all__ = ["schedule_to_csv", "gains_to_csv", "write_csv"]
+
+_SCHEDULE_COLUMNS = (
+    "epoch",
+    "phase",
+    "l1_type",
+    "l1_sharing",
+    "l2_sharing",
+    "l1_kb",
+    "l2_kb",
+    "clock_mhz",
+    "prefetch",
+    "time_us",
+    "energy_uj",
+    "gflops",
+    "gflops_per_watt",
+    "reconfig_time_us",
+    "reconfig_energy_uj",
+    "l1_miss_rate",
+    "l2_miss_rate",
+    "dram_read_utilization",
+    "dram_write_utilization",
+)
+
+
+def schedule_to_csv(
+    schedule: ScheduleResult, trace: Optional[KernelTrace] = None
+) -> str:
+    """Render a schedule's per-epoch timeline as CSV text."""
+    if not schedule.records:
+        raise SimulationError("cannot export an empty schedule")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_SCHEDULE_COLUMNS)
+    for record in schedule.records:
+        config = record.config
+        result = record.result
+        counters = result.counters
+        phase = ""
+        if trace is not None and record.index < trace.n_epochs:
+            phase = trace.epochs[record.index].phase
+        writer.writerow(
+            [
+                record.index,
+                phase,
+                config.l1_type,
+                config.l1_sharing,
+                config.l2_sharing,
+                config.l1_kb,
+                config.l2_kb,
+                f"{config.clock_mhz:g}",
+                config.prefetch,
+                f"{result.time_s * 1e6:.6f}",
+                f"{result.energy_j * 1e6:.6f}",
+                f"{result.gflops:.6f}",
+                f"{result.gflops_per_watt:.6f}",
+                f"{(record.reconfig.time_s if record.reconfig else 0.0) * 1e6:.6f}",
+                f"{(record.reconfig.energy_j if record.reconfig else 0.0) * 1e6:.6f}",
+                f"{counters.l1_miss_rate:.6f}",
+                f"{counters.l2_miss_rate:.6f}",
+                f"{counters.dram_read_utilization:.6f}",
+                f"{counters.dram_write_utilization:.6f}",
+            ]
+        )
+    return buffer.getvalue()
+
+
+def gains_to_csv(
+    per_input: Dict[str, Dict[str, float]],
+    schemes: Sequence[str],
+    input_column: str = "input",
+) -> str:
+    """Render an inputs x schemes gain table as CSV text."""
+    if not per_input:
+        raise SimulationError("cannot export an empty gain table")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([input_column, *schemes])
+    for input_name, row in per_input.items():
+        writer.writerow(
+            [input_name]
+            + [f"{row[s]:.6f}" if s in row else "" for s in schemes]
+        )
+    return buffer.getvalue()
+
+
+def write_csv(text: str, path: Union[str, Path]) -> Path:
+    """Write CSV text produced by the helpers above to a file."""
+    path = Path(path)
+    path.write_text(text)
+    return path

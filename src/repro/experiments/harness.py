@@ -1,0 +1,259 @@
+"""Experiment harness: build traces, evaluate schemes, compute gains.
+
+Every figure/table driver composes the same three steps:
+
+1. :func:`build_trace` — generate (or load) the input, execute the
+   kernel, get a :class:`~repro.kernels.base.KernelTrace`;
+2. :func:`evaluate_schemes` — run the requested control schemes over
+   the trace on one machine configuration, sharing a single
+   :class:`~repro.baselines.table.EpochTable`;
+3. :func:`gains_over` — normalize metrics to a reference scheme, the
+   way every figure in the paper reports "gains over Baseline".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines import (
+    BASELINE,
+    BEST_AVG_CACHE,
+    BEST_AVG_SPM,
+    MAX_CFG,
+    EpochTable,
+    ideal_greedy,
+    ideal_static,
+    oracle,
+    profile_adapt,
+    run_static,
+    spm_variant,
+)
+from repro.core.controller import SparseAdaptController
+from repro.core.model import SparseAdaptModel
+from repro.core.modes import OptimizationMode
+from repro.core.policies import (
+    ConservativePolicy,
+    HybridPolicy,
+    ReconfigurationPolicy,
+)
+from repro.core.schedule import ScheduleResult
+from repro.core.training import train_default_model
+from repro.errors import ConfigError
+from repro.graph.bfs import bfs
+from repro.graph.sssp import sssp
+from repro.kernels import (
+    SPMSPM_EPOCH_FP_OPS,
+    SPMSPV_EPOCH_FP_OPS,
+    KernelTrace,
+    trace_spmspm,
+    trace_spmspv,
+)
+from repro.sparse import generators, suite
+from repro.transmuter.config import HardwareConfig
+from repro.transmuter.machine import TransmuterModel
+
+__all__ = [
+    "STANDARD_SCHEMES",
+    "UPPER_BOUND_SCHEMES",
+    "build_trace",
+    "evaluate_schemes",
+    "gains_over",
+    "default_policy_for",
+]
+
+#: The comparison set of Figures 5-7.
+STANDARD_SCHEMES = ("Baseline", "Best Avg", "Max Cfg", "SparseAdapt")
+
+#: The upper-bound set of Figure 8.
+UPPER_BOUND_SCHEMES = (
+    "Baseline",
+    "SparseAdapt",
+    "Ideal Static",
+    "Ideal Greedy",
+    "Oracle",
+)
+
+_TRACE_CACHE: Dict[tuple, KernelTrace] = {}
+
+
+def default_policy_for(kernel: str) -> ReconfigurationPolicy:
+    """Paper Section 5.4: conservative for SpMSpM, hybrid 40% for SpMSpV."""
+    if kernel == "spmspm":
+        return ConservativePolicy()
+    return HybridPolicy(tolerance=0.40)
+
+
+def build_trace(
+    kernel: str,
+    matrix_id: str,
+    scale: float = 1.0,
+    epoch_fp_ops: Optional[float] = None,
+    vector_density: float = 0.5,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> KernelTrace:
+    """Trace one kernel over one suite matrix.
+
+    ``kernel`` is one of ``spmspm`` (C = A A^T, the paper's setting),
+    ``spmspv`` (y = A x against a ``vector_density``-dense vector),
+    ``bfs`` or ``sssp``.
+    """
+    key = (kernel, matrix_id, scale, epoch_fp_ops, vector_density, seed)
+    if use_cache and key in _TRACE_CACHE:
+        return _TRACE_CACHE[key]
+    matrix = suite.load(matrix_id, scale=scale)
+    if kernel == "spmspm":
+        trace = trace_spmspm(
+            matrix.to_csc(),
+            matrix.transpose().to_csr(),
+            epoch_fp_ops or SPMSPM_EPOCH_FP_OPS,
+            name=f"spmspm-{matrix_id}",
+        )
+    elif kernel == "spmspv":
+        vector = generators.random_vector(
+            matrix.shape[1], vector_density, seed=seed + 1
+        )
+        trace = trace_spmspv(
+            matrix.to_csc(),
+            vector,
+            epoch_fp_ops or SPMSPV_EPOCH_FP_OPS,
+            name=f"spmspv-{matrix_id}",
+        )
+    elif kernel in ("bfs", "sssp"):
+        import numpy as np
+
+        csc = matrix.to_csc()
+        source = int(np.argmax(csc.col_lengths()))  # hub with out-edges
+        algorithm = bfs if kernel == "bfs" else sssp
+        trace = algorithm(csc, source, epoch_fp_ops or SPMSPV_EPOCH_FP_OPS).trace
+    else:
+        raise ConfigError(f"unknown kernel {kernel!r}")
+    if use_cache:
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+@dataclass
+class EvaluationContext:
+    """Everything needed to evaluate schemes over one trace."""
+
+    trace: KernelTrace
+    machine: TransmuterModel
+    mode: OptimizationMode
+    l1_type: str = "cache"
+    model: Optional[SparseAdaptModel] = None
+    policy: Optional[ReconfigurationPolicy] = None
+    n_samples: int = 64
+    seed: int = 0
+    profiling_epoch_trace: Optional[KernelTrace] = None
+
+    def static_points(self) -> Dict[str, HardwareConfig]:
+        if self.l1_type == "cache":
+            return {
+                "Baseline": BASELINE,
+                "Best Avg": BEST_AVG_CACHE,
+                "Max Cfg": MAX_CFG,
+            }
+        return {
+            "Baseline": spm_variant(BASELINE),
+            "Best Avg": BEST_AVG_SPM,
+            "Max Cfg": spm_variant(MAX_CFG),
+        }
+
+
+def evaluate_schemes(
+    context: EvaluationContext,
+    schemes: Sequence[str] = STANDARD_SCHEMES,
+) -> Dict[str, ScheduleResult]:
+    """Run the requested schemes over one trace on one machine.
+
+    Recognized scheme names: the Table-4 statics (``Baseline``,
+    ``Best Avg``, ``Max Cfg``), ``SparseAdapt``, the upper bounds
+    (``Ideal Static``, ``Ideal Greedy``, ``Oracle``), and the
+    state-of-the-art comparison (``ProfileAdapt Naive``,
+    ``ProfileAdapt Ideal`` — these use ``profiling_epoch_trace`` when
+    given, since ProfileAdapt operates at its own best epoch size).
+    """
+    statics = context.static_points()
+    needs_table = any(
+        name
+        in ("Ideal Static", "Ideal Greedy", "Oracle")
+        for name in schemes
+    )
+    table: Optional[EpochTable] = None
+    if needs_table:
+        table = EpochTable(
+            context.machine,
+            context.trace,
+            n_samples=context.n_samples,
+            l1_type=context.l1_type,
+            seed=context.seed,
+            include=list(statics.values()),
+        )
+    pa_table: Optional[EpochTable] = None
+    if any(name.startswith("ProfileAdapt") for name in schemes):
+        pa_trace = context.profiling_epoch_trace or context.trace
+        pa_table = EpochTable(
+            context.machine,
+            pa_trace,
+            n_samples=context.n_samples,
+            l1_type=context.l1_type,
+            seed=context.seed,
+            include=list(statics.values()),
+        )
+
+    results: Dict[str, ScheduleResult] = {}
+    for name in schemes:
+        if name in statics:
+            results[name] = run_static(
+                context.machine, context.trace, statics[name], name
+            )
+        elif name == "SparseAdapt":
+            model = context.model or train_default_model(
+                context.mode,
+                kernel="spmspm" if "spmspm" in context.trace.name else "spmspv",
+                l1_type=context.l1_type,
+            )
+            controller = SparseAdaptController(
+                model=model,
+                machine=context.machine,
+                mode=context.mode,
+                policy=context.policy,
+                initial_config=statics["Baseline"],
+            )
+            result = controller.run(context.trace)
+            result.scheme = name
+            results[name] = result
+        elif name == "Ideal Static":
+            results[name] = ideal_static(table, context.mode)
+        elif name == "Ideal Greedy":
+            results[name] = ideal_greedy(table, context.mode)
+        elif name == "Oracle":
+            results[name] = oracle(table, context.mode)
+        elif name == "ProfileAdapt Naive":
+            results[name] = profile_adapt(pa_table, context.mode, "naive")
+        elif name == "ProfileAdapt Ideal":
+            results[name] = profile_adapt(pa_table, context.mode, "ideal")
+        else:
+            raise ConfigError(f"unknown scheme {name!r}")
+    return results
+
+
+def gains_over(
+    results: Dict[str, ScheduleResult],
+    reference: str = "Baseline",
+) -> Dict[str, Dict[str, float]]:
+    """Per-scheme performance and efficiency gains over a reference."""
+    if reference not in results:
+        raise ConfigError(f"reference scheme {reference!r} not evaluated")
+    ref = results[reference]
+    out: Dict[str, Dict[str, float]] = {}
+    for name, schedule in results.items():
+        out[name] = {
+            "gflops": schedule.gflops,
+            "gflops_per_watt": schedule.gflops_per_watt,
+            "perf_gain": schedule.gflops / ref.gflops,
+            "efficiency_gain": schedule.gflops_per_watt / ref.gflops_per_watt,
+        }
+    return out

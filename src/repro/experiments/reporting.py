@@ -1,0 +1,120 @@
+"""Plain-text reporting of experiment results.
+
+Every figure driver returns nested dictionaries; these helpers render
+them as aligned tables of "gains over Baseline", the same rows/series
+the paper plots, so benchmark logs double as the reproduction record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.ml.metrics import geometric_mean
+
+__all__ = [
+    "format_gain_table",
+    "append_geomean",
+    "format_scalar_table",
+    "sparkline",
+    "format_timeline",
+]
+
+
+def append_geomean(
+    per_input: Dict[str, Dict[str, float]]
+) -> Dict[str, Dict[str, float]]:
+    """Add the paper's ``GM`` column: geometric mean across inputs."""
+    if not per_input:
+        return per_input
+    schemes = next(iter(per_input.values())).keys()
+    geomean_row = {
+        scheme: geometric_mean(
+            [row[scheme] for row in per_input.values()]
+        )
+        for scheme in schemes
+    }
+    out = dict(per_input)
+    out["GM"] = geomean_row
+    return out
+
+
+def format_gain_table(
+    title: str,
+    per_input: Dict[str, Dict[str, float]],
+    schemes: Sequence[str],
+    value_format: str = "{:6.2f}",
+) -> str:
+    """Render inputs x schemes gains as an aligned text table."""
+    lines: List[str] = [title]
+    name_width = max(len("input"), *(len(k) for k in per_input))
+    header = "  ".join(
+        ["input".ljust(name_width)] + [f"{s:>12s}" for s in schemes]
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for input_name, row in per_input.items():
+        cells = [
+            value_format.format(row[s]).rjust(12) if s in row else " " * 12
+            for s in schemes
+        ]
+        lines.append("  ".join([input_name.ljust(name_width)] + cells))
+    return "\n".join(lines)
+
+
+def format_scalar_table(
+    title: str, rows: Dict[str, float], value_format: str = "{:8.3f}"
+) -> str:
+    """Render a flat name -> value mapping."""
+    lines = [title]
+    width = max(len(k) for k in rows)
+    for name, value in rows.items():
+        lines.append(f"{name.ljust(width)}  {value_format.format(value)}")
+    return "\n".join(lines)
+
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 64) -> str:
+    """Render a series as a unicode sparkline (terminal-friendly plot).
+
+    Long series are bucket-averaged down to ``width`` glyphs; constant
+    series render at mid height.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            / max(1, len(values[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)]))
+            for i in range(width)
+        ]
+    low, high = min(values), max(values)
+    if high - low < 1e-15:
+        return _SPARK_LEVELS[3] * len(values)
+    span = high - low
+    out = []
+    for value in values:
+        level = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[level])
+    return "".join(out)
+
+
+def format_timeline(
+    title: str, series: Dict[str, Sequence[float]], width: int = 64
+) -> str:
+    """Render named series as labelled sparklines (e.g. the Figure-1
+    clock / L2-capacity / bandwidth panels)."""
+    lines = [title]
+    label_width = max(len(k) for k in series)
+    for name, values in series.items():
+        values = list(values)
+        low = min(values) if values else 0.0
+        high = max(values) if values else 0.0
+        lines.append(
+            f"{name.ljust(label_width)}  {sparkline(values, width)}"
+            f"  [{low:g} .. {high:g}]"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Graph algorithms as iterative SpMSpV vertex programs.
+
+Public API::
+
+    from repro.graph import bfs, sssp, BFSResult, SSSPResult, teps_per_watt
+"""
+
+from repro.graph.bfs import BFSResult, bfs
+from repro.graph.components import ComponentsResult, connected_components
+from repro.graph.metrics import teps, teps_per_watt
+from repro.graph.pagerank import PageRankResult, pagerank
+from repro.graph.sssp import SSSPResult, sssp
+
+__all__ = [
+    "bfs",
+    "BFSResult",
+    "sssp",
+    "SSSPResult",
+    "pagerank",
+    "PageRankResult",
+    "connected_components",
+    "ComponentsResult",
+    "teps",
+    "teps_per_watt",
+]

@@ -1,0 +1,25 @@
+"""Graph-workload metrics (TEPS and TEPS per watt, paper Table 6)."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = ["teps", "teps_per_watt"]
+
+
+def teps(edges_traversed: float, elapsed_s: float) -> float:
+    """Traversed edges per second."""
+    if elapsed_s <= 0:
+        raise SimulationError("elapsed time must be positive")
+    if edges_traversed < 0:
+        raise SimulationError("edge count must be non-negative")
+    return edges_traversed / elapsed_s
+
+
+def teps_per_watt(
+    edges_traversed: float, elapsed_s: float, energy_j: float
+) -> float:
+    """Traversed edges per second per watt (= edges / energy)."""
+    if energy_j <= 0:
+        raise SimulationError("energy must be positive")
+    return teps(edges_traversed, elapsed_s) / (energy_j / elapsed_s)

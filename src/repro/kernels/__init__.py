@@ -1,0 +1,33 @@
+"""Kernel workload models: SpMSpM, SpMSpV, GeMM, Conv.
+
+Public API::
+
+    from repro.kernels import (
+        KernelTrace, trace_spmspm, trace_spmspv, trace_gemm, trace_conv,
+        SPMSPM_EPOCH_FP_OPS, SPMSPV_EPOCH_FP_OPS,
+    )
+"""
+
+from repro.kernels.base import (
+    SPMSPM_EPOCH_FP_OPS,
+    SPMSPV_EPOCH_FP_OPS,
+    EpochAccumulator,
+    KernelTrace,
+)
+from repro.kernels.conv import trace_conv
+from repro.kernels.gemm import trace_gemm
+from repro.kernels.spmspm import trace_spmspm
+from repro.kernels.spmspm_inner import trace_spmspm_inner
+from repro.kernels.spmspv import trace_spmspv
+
+__all__ = [
+    "KernelTrace",
+    "EpochAccumulator",
+    "trace_spmspm",
+    "trace_spmspm_inner",
+    "trace_spmspv",
+    "trace_gemm",
+    "trace_conv",
+    "SPMSPM_EPOCH_FP_OPS",
+    "SPMSPV_EPOCH_FP_OPS",
+]

@@ -1,0 +1,174 @@
+"""Kernel trace containers and the epoch accumulator.
+
+A kernel "execution" in this reproduction walks the real algorithm over
+the real input data, accumulating workload statistics, and cuts an
+epoch whenever the floating-point-operation budget (inclusive of FP
+loads and stores, Section 4 of the paper) is exhausted. The result is a
+:class:`KernelTrace`: an ordered list of
+:class:`~repro.transmuter.workload.EpochWorkload` records plus metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.transmuter.workload import EpochWorkload
+
+__all__ = ["KernelTrace", "EpochAccumulator"]
+
+#: Default epoch budgets (paper Section 5.4).
+SPMSPM_EPOCH_FP_OPS = 5000
+SPMSPV_EPOCH_FP_OPS = 500
+
+
+@dataclass
+class KernelTrace:
+    """A kernel execution summarized as a sequence of epoch workloads."""
+
+    name: str
+    epochs: List[EpochWorkload]
+    info: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.epochs)
+
+    @property
+    def total_flops(self) -> float:
+        """Arithmetic FLOPs across the whole trace (GFLOPS numerator)."""
+        return float(sum(epoch.flops for epoch in self.epochs))
+
+    @property
+    def total_fp_ops(self) -> float:
+        return float(sum(epoch.fp_ops for epoch in self.epochs))
+
+    def phases(self) -> List[str]:
+        """Distinct phase labels in execution order."""
+        seen: List[str] = []
+        for epoch in self.epochs:
+            if not seen or seen[-1] != epoch.phase:
+                seen.append(epoch.phase)
+        return seen
+
+
+class EpochAccumulator:
+    """Accumulates per-task statistics and emits fixed-budget epochs.
+
+    Tasks (one outer product, one merged row, one SpMSpV column, ...)
+    call :meth:`add` with their incremental contribution; whenever the
+    accumulated FP-op count reaches ``epoch_fp_ops`` the accumulator
+    closes the epoch. Fractions (stride, sharing) are averaged weighted
+    by accesses; the work skew is the coefficient of variation of the
+    per-task FP work inside the epoch.
+    """
+
+    def __init__(self, phase: str, epoch_fp_ops: float) -> None:
+        if epoch_fp_ops <= 0:
+            raise SimulationError("epoch budget must be positive")
+        self.phase = phase
+        self.epoch_fp_ops = epoch_fp_ops
+        self.epochs: List[EpochWorkload] = []
+        self._reset()
+
+    def _reset(self) -> None:
+        self._fp_ops = 0.0
+        self._flops = 0.0
+        self._int_ops = 0.0
+        self._loads = 0.0
+        self._stores = 0.0
+        self._unique_words = 0.0
+        self._unique_lines = 0.0
+        self._stride_weighted = 0.0
+        self._reuse_locality_weighted = 0.0
+        self._shared_weighted = 0.0
+        self._unique_weight = 0.0
+        self._read_bytes = 0.0
+        self._write_bytes = 0.0
+        self._resident_bytes = 0.0
+        self._task_work: List[float] = []
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        flops: float,
+        fp_loads: float,
+        fp_stores: float,
+        int_ops: float,
+        loads: float,
+        stores: float,
+        unique_words: float,
+        unique_lines: float,
+        stride_fraction: float,
+        shared_fraction: float,
+        read_bytes: float,
+        write_bytes: float,
+        resident_bytes: float = 0.0,
+        reuse_locality: float = 0.5,
+    ) -> None:
+        """Add one task's contribution; may close one or more epochs.
+
+        ``resident_bytes`` is the live cross-epoch working set observed
+        while this task ran; the epoch records the maximum across its
+        tasks.
+        """
+        self._flops += flops
+        self._fp_ops += flops + fp_loads + fp_stores
+        self._int_ops += int_ops
+        self._loads += loads
+        self._stores += stores
+        self._unique_words += unique_words
+        self._unique_lines += unique_lines
+        weight = max(unique_words, 1.0)
+        self._stride_weighted += stride_fraction * weight
+        self._reuse_locality_weighted += reuse_locality * weight
+        self._shared_weighted += shared_fraction * weight
+        self._unique_weight += weight
+        self._read_bytes += read_bytes
+        self._write_bytes += write_bytes
+        self._resident_bytes = max(self._resident_bytes, resident_bytes)
+        self._task_work.append(flops + fp_loads + fp_stores)
+        if self._fp_ops >= self.epoch_fp_ops:
+            self._close()
+
+    def _close(self) -> None:
+        if self._fp_ops <= 0:
+            self._reset()
+            return
+        work = np.asarray(self._task_work)
+        if work.size > 1 and work.mean() > 0:
+            skew = float(work.std() / work.mean())
+        else:
+            skew = 0.0
+        weight = max(self._unique_weight, 1e-9)
+        self.epochs.append(
+            EpochWorkload(
+                phase=self.phase,
+                fp_ops=self._fp_ops,
+                flops=self._flops,
+                int_ops=self._int_ops,
+                loads=self._loads,
+                stores=self._stores,
+                unique_words=self._unique_words,
+                unique_lines=max(self._unique_lines, 1.0),
+                stride_fraction=min(1.0, self._stride_weighted / weight),
+                shared_fraction=min(1.0, self._shared_weighted / weight),
+                read_bytes_compulsory=self._read_bytes,
+                write_bytes=self._write_bytes,
+                work_skew=skew,
+                resident_bytes=self._resident_bytes,
+                reuse_locality=min(
+                    1.0, self._reuse_locality_weighted / weight
+                ),
+            )
+        )
+        self._reset()
+
+    def finish(self) -> List[EpochWorkload]:
+        """Close any partial epoch and return all epochs."""
+        if self._fp_ops > 0:
+            self._close()
+        return self.epochs

@@ -1,0 +1,74 @@
+"""Dense 2-D convolution workload model (regular-kernel ablation).
+
+Companion to :mod:`repro.kernels.gemm` for the Section-7 study: a
+sliding-window convolution has near-perfect spatial locality and fully
+uniform epochs, so dynamic reconfiguration has nothing to exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ShapeError
+from repro.kernels.base import SPMSPM_EPOCH_FP_OPS, EpochAccumulator, KernelTrace
+from repro.transmuter import params
+from repro.transmuter.workload import PHASE_CONV
+
+__all__ = ["trace_conv"]
+
+
+def trace_conv(
+    height: int,
+    width: int,
+    kernel: int = 3,
+    channels: int = 1,
+    epoch_fp_ops: float = SPMSPM_EPOCH_FP_OPS,
+    name: Optional[str] = None,
+) -> KernelTrace:
+    """Trace a dense ``kernel x kernel`` convolution over an image.
+
+    One task per output row: the kernel window slides along the row,
+    re-reading ``kernel - 1`` input rows that are resident from the
+    previous output row (strong reuse, high stride).
+    """
+    if min(height, width, kernel, channels) <= 0:
+        raise ShapeError("convolution dimensions must be positive")
+    if kernel > min(height, width):
+        raise ShapeError("kernel larger than image")
+    accumulator = EpochAccumulator(PHASE_CONV, epoch_fp_ops)
+    out_h = height - kernel + 1
+    out_w = width - kernel + 1
+    taps = float(kernel * kernel * channels)
+    for _ in range(out_h):
+        flops = 2.0 * taps * out_w  # multiply + add per tap per output
+        fp_loads = taps * out_w  # window reads (mostly cached)
+        fp_stores = float(out_w)
+        new_words = float(width * channels)  # one fresh input row + output
+        accumulator.add(
+            flops=flops,
+            fp_loads=fp_loads,
+            fp_stores=fp_stores,
+            int_ops=0.4 * flops,
+            loads=fp_loads,
+            stores=fp_stores,
+            unique_words=new_words + out_w,
+            unique_lines=max(
+                1.0,
+                (new_words + out_w) * params.WORD_BYTES / params.CACHE_LINE_BYTES,
+            ),
+            stride_fraction=0.95,
+            shared_fraction=0.3,  # halo rows shared between neighbours
+            read_bytes=new_words * params.WORD_BYTES,
+            write_bytes=out_w * params.WORD_BYTES,
+            resident_bytes=kernel * width * channels * params.WORD_BYTES,
+            reuse_locality=0.95,
+        )
+    return KernelTrace(
+        name=name or f"conv-{height}x{width}k{kernel}",
+        epochs=accumulator.finish(),
+        info={
+            "height": float(height),
+            "width": float(width),
+            "kernel": float(kernel),
+        },
+    )

@@ -1,0 +1,156 @@
+"""Linear and logistic regression baselines.
+
+Section 4.3 of the paper: "We experimented with four machine learning
+models, namely decision trees, random forests, linear regression, and
+logistic regression ... the linear and logistic regression models gave
+us poor accuracies." These two estimators reproduce that comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["LinearRegression", "LogisticRegression"]
+
+
+def _with_bias(features: np.ndarray) -> np.ndarray:
+    return np.hstack([features, np.ones((features.shape[0], 1))])
+
+
+def _validate(features, targets):
+    features = np.asarray(features, dtype=np.float64)
+    targets = np.asarray(targets)
+    if features.ndim != 2 or features.shape[0] == 0:
+        raise ModelError("X must be a non-empty 2-D array")
+    if targets.shape[0] != features.shape[0]:
+        raise ModelError("X and y must have the same number of rows")
+    return features, targets
+
+
+class LinearRegression:
+    """Ordinary least squares with a small ridge term for stability.
+
+    Used as a classifier baseline by regressing the encoded label and
+    rounding to the nearest class (the paper used it the same way and
+    found it inaccurate for the configuration-prediction task).
+    """
+
+    def __init__(self, l2: float = 1e-8) -> None:
+        if l2 < 0:
+            raise ModelError("l2 must be non-negative")
+        self.l2 = l2
+        self.coef_: Optional[np.ndarray] = None
+        self.classes_: Optional[np.ndarray] = None
+
+    def get_params(self) -> dict:
+        """Constructor parameters, for model-selection clones."""
+        return {"l2": self.l2}
+
+    def fit(self, features, targets) -> "LinearRegression":
+        """Fit with the normal equations (ridge-regularized)."""
+        features, targets = _validate(features, targets)
+        self.classes_, encoded = np.unique(targets, return_inverse=True)
+        design = _with_bias(features)
+        gram = design.T @ design + self.l2 * np.eye(design.shape[1])
+        self.coef_ = np.linalg.solve(gram, design.T @ encoded.astype(float))
+        return self
+
+    def decision_function(self, features) -> np.ndarray:
+        """Raw regression output (encoded-class scale)."""
+        if self.coef_ is None:
+            raise ModelError("estimator is not fitted; call fit() first")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        return _with_bias(features) @ self.coef_
+
+    def predict(self, features) -> np.ndarray:
+        """Nearest-class prediction by rounding the regression output."""
+        raw = self.decision_function(features)
+        idx = np.clip(np.round(raw), 0, self.classes_.size - 1).astype(int)
+        return self.classes_[idx]
+
+    def score(self, features, labels) -> float:
+        """Mean accuracy (classification usage)."""
+        labels = np.asarray(labels)
+        return float(np.mean(self.predict(features) == labels))
+
+
+class LogisticRegression:
+    """Multinomial logistic regression fit by full-batch gradient descent."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        n_iterations: int = 500,
+        l2: float = 1e-4,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ModelError("learning_rate must be positive")
+        if n_iterations < 1:
+            raise ModelError("n_iterations must be >= 1")
+        self.learning_rate = learning_rate
+        self.n_iterations = n_iterations
+        self.l2 = l2
+        self.weights_: Optional[np.ndarray] = None
+        self.classes_: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def get_params(self) -> dict:
+        """Constructor parameters, for model-selection clones."""
+        return {
+            "learning_rate": self.learning_rate,
+            "n_iterations": self.n_iterations,
+            "l2": self.l2,
+        }
+
+    def fit(self, features, labels) -> "LogisticRegression":
+        """Fit with softmax cross-entropy gradient descent."""
+        features, labels = _validate(features, labels)
+        self.classes_, encoded = np.unique(labels, return_inverse=True)
+        self._mean = features.mean(axis=0)
+        self._std = features.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        design = _with_bias((features - self._mean) / self._std)
+        n, d = design.shape
+        k = self.classes_.size
+        one_hot = np.zeros((n, k))
+        one_hot[np.arange(n), encoded] = 1.0
+        weights = np.zeros((d, k))
+        for _ in range(self.n_iterations):
+            logits = design @ weights
+            logits -= logits.max(axis=1, keepdims=True)
+            exp = np.exp(logits)
+            probs = exp / exp.sum(axis=1, keepdims=True)
+            gradient = design.T @ (probs - one_hot) / n + self.l2 * weights
+            weights -= self.learning_rate * gradient
+        self.weights_ = weights
+        return self
+
+    def predict_proba(self, features) -> np.ndarray:
+        """Softmax class probabilities."""
+        if self.weights_ is None:
+            raise ModelError("estimator is not fitted; call fit() first")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        design = _with_bias((features - self._mean) / self._std)
+        logits = design @ self.weights_
+        logits -= logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, features) -> np.ndarray:
+        """Most probable class labels."""
+        probs = self.predict_proba(features)
+        return self.classes_[np.argmax(probs, axis=1)]
+
+    def score(self, features, labels) -> float:
+        """Mean accuracy on the given data."""
+        labels = np.asarray(labels)
+        return float(np.mean(self.predict(features) == labels))

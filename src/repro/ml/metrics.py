@@ -1,0 +1,84 @@
+"""Evaluation metrics for the ML substrate."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "macro_f1",
+    "geometric_mean",
+    "grouped_importance",
+]
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exactly matching predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ModelError("y_true and y_pred must have the same shape")
+    if y_true.size == 0:
+        raise ModelError("cannot score empty predictions")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred) -> np.ndarray:
+    """Square confusion matrix over the union of observed labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    labels = np.unique(np.concatenate([y_true, y_pred]))
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    matrix = np.zeros((labels.size, labels.size), dtype=np.int64)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        matrix[index[t], index[p]] += 1
+    return matrix
+
+
+def macro_f1(y_true, y_pred) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    matrix = confusion_matrix(y_true, y_pred)
+    f1_scores = []
+    for i in range(matrix.shape[0]):
+        tp = matrix[i, i]
+        fp = matrix[:, i].sum() - tp
+        fn = matrix[i, :].sum() - tp
+        denominator = 2 * tp + fp + fn
+        f1_scores.append(2 * tp / denominator if denominator else 0.0)
+    return float(np.mean(f1_scores))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (paper's GM aggregation)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ModelError("geometric mean of empty sequence")
+    if np.any(values <= 0):
+        raise ModelError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def grouped_importance(
+    importances: np.ndarray, groups: Sequence[str]
+) -> Dict[str, float]:
+    """Sum per-feature importances into named groups (Figure 10).
+
+    Parameters
+    ----------
+    importances:
+        Per-feature importance vector (sums to 1 for a fitted tree).
+    groups:
+        Group name of each feature, parallel to ``importances``.
+    """
+    importances = np.asarray(importances, dtype=np.float64)
+    if importances.size != len(groups):
+        raise ModelError("importances and groups must be parallel")
+    out: Dict[str, float] = {}
+    for value, group in zip(importances, groups):
+        out[group] = out.get(group, 0.0) + float(value)
+    return out

@@ -1,0 +1,117 @@
+"""Random forest classifier (bagged CART ensemble).
+
+The paper compared decision trees against random forests and found
+"similar inference accuracies" (Section 4.3) before choosing plain trees
+for their lower inference overhead and explainability. This module
+provides the forest so that comparison can be reproduced.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.decision_tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier:
+    """Bootstrap-aggregated decision trees with feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 10,
+        criterion: str = "gini",
+        max_depth: Optional[int] = None,
+        min_samples_leaf: int = 1,
+        max_features: str = "sqrt",
+        random_state: Optional[int] = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ModelError("n_estimators must be >= 1")
+        if max_features not in ("sqrt", "all"):
+            raise ModelError("max_features must be 'sqrt' or 'all'")
+        self.n_estimators = n_estimators
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.trees_: list = []
+        self.classes_: Optional[np.ndarray] = None
+        self.feature_importances_: Optional[np.ndarray] = None
+
+    def get_params(self) -> dict:
+        """Constructor parameters, for model-selection clones."""
+        return {
+            "n_estimators": self.n_estimators,
+            "criterion": self.criterion,
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+            "random_state": self.random_state,
+        }
+
+    def fit(self, features, labels) -> "RandomForestClassifier":
+        """Fit ``n_estimators`` trees on bootstrap resamples."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        if features.ndim != 2 or features.shape[0] == 0:
+            raise ModelError("X must be a non-empty 2-D array")
+        if labels.shape[0] != features.shape[0]:
+            raise ModelError("X and y must have the same number of rows")
+        self.classes_ = np.unique(labels)
+        n_samples, n_features = features.shape
+        if self.max_features == "sqrt":
+            feature_budget = max(1, int(np.sqrt(n_features)))
+        else:
+            feature_budget = n_features
+        rng = np.random.default_rng(self.random_state)
+        self.trees_ = []
+        importances = np.zeros(n_features)
+        for _ in range(self.n_estimators):
+            sample = rng.integers(0, n_samples, size=n_samples)
+            tree = DecisionTreeClassifier(
+                criterion=self.criterion,
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=feature_budget,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(features[sample], labels[sample])
+            self.trees_.append(tree)
+            importances += tree.feature_importances_
+        total = importances.sum()
+        if total > 0:
+            self.feature_importances_ = importances / total
+        else:
+            self.feature_importances_ = importances
+        return self
+
+    def predict_proba(self, features) -> np.ndarray:
+        """Class probabilities averaged across trees."""
+        if not self.trees_:
+            raise ModelError("estimator is not fitted; call fit() first")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        accumulated = np.zeros((features.shape[0], self.classes_.size))
+        for tree in self.trees_:
+            probs = tree.predict_proba(features)
+            # Align each tree's class set to the forest-wide class set.
+            col_map = np.searchsorted(self.classes_, tree.classes_)
+            accumulated[:, col_map] += probs
+        return accumulated / len(self.trees_)
+
+    def predict(self, features) -> np.ndarray:
+        """Majority-vote class labels."""
+        probs = self.predict_proba(features)
+        return self.classes_[np.argmax(probs, axis=1)]
+
+    def score(self, features, labels) -> float:
+        """Mean accuracy on the given data."""
+        labels = np.asarray(labels)
+        return float(np.mean(self.predict(features) == labels))

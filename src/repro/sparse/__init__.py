@@ -1,0 +1,23 @@
+"""Sparse linear-algebra substrate: formats, generators, evaluation suite.
+
+Public API::
+
+    from repro.sparse import COOMatrix, CSRMatrix, CSCMatrix, SparseVector
+    from repro.sparse import generators, suite, ops
+"""
+
+from repro.sparse import generators, ops, suite
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.vector import SparseVector
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "SparseVector",
+    "generators",
+    "ops",
+    "suite",
+]

@@ -1,0 +1,146 @@
+"""Compressed sparse row (CSR) matrix format.
+
+CSR stores, for each row, a contiguous slice of column indices and values.
+It is the natural layout for the *B* operand of outer-product SpMSpM (row
+fetches) and for row-wise traversals in the graph kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """A sparse matrix in compressed sparse row format.
+
+    Parameters
+    ----------
+    indptr:
+        ``n_rows + 1`` monotonically non-decreasing offsets into
+        ``indices``/``data``.
+    indices:
+        Column index of each stored entry, row-major order.
+    data:
+        Stored values, parallel to ``indices``.
+    shape:
+        ``(n_rows, n_cols)``.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> None:
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        data = np.asarray(data, dtype=np.float64)
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if indptr.ndim != 1 or indptr.size != n_rows + 1:
+            raise FormatError(
+                f"indptr must have length n_rows+1={n_rows + 1}, "
+                f"got {indptr.size}"
+            )
+        if indptr[0] != 0:
+            raise FormatError("indptr must start at 0")
+        if np.any(np.diff(indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        if indices.size != data.size or indices.size != indptr[-1]:
+            raise FormatError("indices/data length must equal indptr[-1]")
+        if indices.size and (indices.min() < 0 or indices.max() >= n_cols):
+            raise FormatError("column index out of bounds")
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+        self.shape = (n_rows, n_cols)
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.data.size)
+
+    @property
+    def density(self) -> float:
+        """Fraction of stored entries relative to the dense size."""
+        cells = self.shape[0] * self.shape[1]
+        if cells == 0:
+            return 0.0
+        return self.nnz / cells
+
+    def __repr__(self) -> str:
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(col_indices, values)`` of row ``i`` (zero-copy views)."""
+        if not 0 <= i < self.shape[0]:
+            raise ShapeError(f"row {i} out of range for {self.shape}")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def row_nnz(self, i: int) -> int:
+        """Number of stored entries in row ``i``."""
+        if not 0 <= i < self.shape[0]:
+            raise ShapeError(f"row {i} out of range for {self.shape}")
+        return int(self.indptr[i + 1] - self.indptr[i])
+
+    def row_lengths(self) -> np.ndarray:
+        """Array of per-row nnz counts (used for skew/imbalance metrics)."""
+        return np.diff(self.indptr)
+
+    def iter_rows(self) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(row, col_indices, values)`` for every non-empty row."""
+        for i in range(self.shape[0]):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            if hi > lo:
+                yield i, self.indices[lo:hi], self.data[lo:hi]
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Dense matrix-vector product ``A @ x`` (reference semantics)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise ShapeError(
+                f"matvec expects length {self.shape[1]}, got {x.shape}"
+            )
+        out = np.zeros(self.shape[0])
+        contributions = self.data * x[self.indices]
+        row_ids = np.repeat(
+            np.arange(self.shape[0]), np.diff(self.indptr)
+        )
+        np.add.at(out, row_ids, contributions)
+        return out
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_coo(self):
+        """Convert to :class:`repro.sparse.coo.COOMatrix`."""
+        from repro.sparse.coo import COOMatrix
+
+        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        return COOMatrix(rows, self.indices.copy(), self.data.copy(), self.shape)
+
+    def to_csc(self):
+        """Convert to :class:`repro.sparse.csc.CSCMatrix`."""
+        return self.to_coo().to_csc()
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense numpy array."""
+        return self.to_coo().to_dense()
+
+    def transpose(self) -> "CSRMatrix":
+        """Return the transpose as a new CSR matrix."""
+        return self.to_coo().transpose().to_csr()

@@ -1,0 +1,82 @@
+"""Hardware performance counters (paper Table 2).
+
+The counters are reset after every query and are averaged spatially
+(across replicated hardware blocks) and temporally (normalized to the
+elapsed cycles of the epoch) by the runtime. The fields below are the
+post-normalization values the predictive model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["PerformanceCounters", "COUNTER_GROUPS"]
+
+
+@dataclass(frozen=True)
+class PerformanceCounters:
+    """Telemetry of one epoch, spatially and temporally averaged."""
+
+    # R-DCache counters (per level).
+    l1_access_rate: float  # accesses per cycle per bank
+    l1_occupancy: float  # fraction of valid tags in the bank
+    l1_miss_rate: float
+    l1_prefetch_ratio: float  # prefetches issued per access
+    l1_capacity_kb: float
+    l2_access_rate: float
+    l2_occupancy: float
+    l2_miss_rate: float
+    l2_prefetch_ratio: float
+    l2_capacity_kb: float
+    # R-XBar counters.
+    xbar_contention_ratio: float  # contentions / accesses through the xbar
+    # Core counters.
+    gpe_ipc: float
+    gpe_fp_ipc: float
+    lcp_ipc: float
+    lcp_fp_ipc: float
+    clock_mhz: float
+    # Memory-controller counters.
+    dram_read_utilization: float  # used / available bandwidth
+    dram_write_utilization: float
+
+    def as_features(self) -> np.ndarray:
+        """Flat numeric vector in declaration order."""
+        return np.array(
+            [float(getattr(self, f.name)) for f in fields(self)]
+        )
+
+    @staticmethod
+    def feature_names() -> List[str]:
+        """Names parallel to :meth:`as_features`."""
+        return [f.name for f in fields(PerformanceCounters)]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Counter values keyed by name."""
+        return {f.name: float(getattr(self, f.name)) for f in fields(self)}
+
+
+#: Counter-class grouping used by the Figure-10 feature-importance study.
+COUNTER_GROUPS: Dict[str, str] = {
+    "l1_access_rate": "L1 R-DCache",
+    "l1_occupancy": "L1 R-DCache",
+    "l1_miss_rate": "L1 R-DCache",
+    "l1_prefetch_ratio": "L1 R-DCache",
+    "l1_capacity_kb": "L1 R-DCache",
+    "l2_access_rate": "L2 R-DCache",
+    "l2_occupancy": "L2 R-DCache",
+    "l2_miss_rate": "L2 R-DCache",
+    "l2_prefetch_ratio": "L2 R-DCache",
+    "l2_capacity_kb": "L2 R-DCache",
+    "xbar_contention_ratio": "R-XBar",
+    "gpe_ipc": "GPE",
+    "gpe_fp_ipc": "GPE",
+    "lcp_ipc": "LCP",
+    "lcp_fp_ipc": "LCP",
+    "clock_mhz": "Clock",
+    "dram_read_utilization": "Memory Ctrl",
+    "dram_write_utilization": "Memory Ctrl",
+}

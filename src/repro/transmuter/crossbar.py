@@ -1,0 +1,75 @@
+"""Swizzle-switch crossbar contention model (paper Section 3.2.3).
+
+Transmuter's R-XBars connect GPEs to L1 banks within a tile and tiles to
+L2 banks. In *private* mode the crosspoint control units pin each
+requester to its own bank: access latency is a fixed single cycle and no
+arbitration occurs. In *shared* mode any requester can reach any bank,
+enabling reuse but adding arbitration latency when requests collide.
+
+The analytic model treats each of the ``n_requesters`` as issuing
+requests uniformly over ``n_banks`` ports at a given per-cycle intensity.
+The collision probability for a request is ``1 - (1 - rho/n_banks) **
+(n_requesters - 1)`` where ``rho`` is the per-requester offered rate —
+a standard random-interleaving approximation; the paper's
+contention-to-access-ratio counter reports exactly this quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.transmuter import params
+
+__all__ = ["CrossbarBehaviour", "model_crossbar"]
+
+
+@dataclass(frozen=True)
+class CrossbarBehaviour:
+    """Predicted crossbar behaviour for one epoch."""
+
+    contention_ratio: float  # contentions per access (Table-2 counter)
+    extra_latency_cycles: float  # added to every access through the xbar
+    transfers: float  # word transfers crossing the crossbar
+
+
+def model_crossbar(
+    accesses: float,
+    busy_cycles: float,
+    n_requesters: int,
+    n_banks: int,
+    shared: bool,
+) -> CrossbarBehaviour:
+    """Predict contention for one crossbar layer over one epoch.
+
+    Parameters
+    ----------
+    accesses:
+        Total accesses through this crossbar during the epoch.
+    busy_cycles:
+        Cycles the requesters were active (bounds the offered rate).
+    n_requesters / n_banks:
+        Crossbar geometry.
+    shared:
+        Whether the crossbar is in the arbitrated (shared) mode.
+    """
+    if n_requesters < 1 or n_banks < 1:
+        raise SimulationError("crossbar geometry must be positive")
+    if accesses < 0 or busy_cycles < 0:
+        raise SimulationError("negative crossbar load")
+    if not shared or accesses == 0:
+        return CrossbarBehaviour(0.0, 0.0, accesses)
+    cycles = max(busy_cycles, 1.0)
+    per_requester_rate = min(1.0, accesses / (n_requesters * cycles))
+    other = n_requesters - 1
+    collision = 1.0 - (1.0 - per_requester_rate / n_banks) ** other
+    extra = (
+        params.L1_SHARED_BASE_LATENCY
+        - 1.0
+        + collision * params.XBAR_CONTENTION_PENALTY
+    )
+    return CrossbarBehaviour(
+        contention_ratio=collision,
+        extra_latency_cycles=extra,
+        transfers=accesses,
+    )

@@ -1,0 +1,70 @@
+"""Dynamic voltage-frequency scaling model (paper Section 3.2.1).
+
+The clock divider produces frequencies ``f/2 .. f/2^N`` from the nominal
+clock ``f``. The target voltage follows the alpha-power law the paper
+states::
+
+    f / f_target = [(VDD - Vt)^2 / VDD] / [(V_target - Vt)^2 / V_target]
+
+with ``V_target`` clamped to ``1.3 * Vt`` for functional correctness.
+Total power is scaled by ``(V_target / VDD)^2``; we additionally scale
+leakage linearly with voltage (leakage reduces roughly proportionally
+with supply in the near-threshold region this model covers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.transmuter import params
+
+__all__ = ["OperatingPoint", "voltage_for_frequency", "operating_point"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A resolved DVFS state."""
+
+    frequency_mhz: float
+    voltage: float
+    dynamic_scale: float  # multiply dynamic energy/event by this
+    leakage_scale: float  # multiply leakage power by this
+
+
+def voltage_for_frequency(
+    frequency_mhz: float,
+    nominal_mhz: float = params.F_NOMINAL_MHZ,
+    vdd: float = params.VDD_NOMINAL,
+    v_threshold: float = params.V_THRESHOLD,
+) -> float:
+    """Supply voltage needed for ``frequency_mhz``, volts.
+
+    Solves the paper's equation for the target voltage. Writing
+    ``k = (f_target / f) * (VDD - Vt)^2 / VDD`` the equation becomes
+    ``(V - Vt)^2 / V = k``, i.e. ``V^2 - (2 Vt + k) V + Vt^2 = 0``; the
+    physical (larger) root is taken and clamped to ``1.3 Vt``.
+    """
+    if frequency_mhz <= 0:
+        raise ConfigError("frequency must be positive")
+    if frequency_mhz > nominal_mhz:
+        raise ConfigError(
+            f"frequency {frequency_mhz} MHz exceeds nominal {nominal_mhz} MHz"
+        )
+    k = (frequency_mhz / nominal_mhz) * (vdd - v_threshold) ** 2 / vdd
+    half_b = (2.0 * v_threshold + k) / 2.0
+    root = half_b + math.sqrt(max(half_b * half_b - v_threshold**2, 0.0))
+    return max(root, params.V_MIN_RATIO * v_threshold)
+
+
+def operating_point(frequency_mhz: float) -> OperatingPoint:
+    """Resolve frequency into voltage and power scale factors."""
+    voltage = voltage_for_frequency(frequency_mhz)
+    ratio = voltage / params.VDD_NOMINAL
+    return OperatingPoint(
+        frequency_mhz=frequency_mhz,
+        voltage=voltage,
+        dynamic_scale=ratio * ratio,
+        leakage_scale=ratio,
+    )

@@ -1,0 +1,198 @@
+"""Technology and micro-architecture constants for the Transmuter model.
+
+The paper models a 14 nm Transmuter implementation using gem5 for timing
+and a power estimator combining RTL synthesis reports, Arm core
+specifications, and CACTI for SRAM (Section 5.2). This module holds the
+equivalent constants for the analytical model. Values are representative
+of a 14 nm low-power process; absolute numbers are calibrated so the
+*relationships* the paper relies on hold (large caches leak, DRAM energy
+per byte dwarfs SRAM energy, DVFS trades frequency for quadratic dynamic
+power).
+
+Every constant is module-level so experiments can monkeypatch a scenario
+without editing the library.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Geometry
+# ---------------------------------------------------------------------------
+
+#: Cache line size in bytes for both R-DCache levels.
+CACHE_LINE_BYTES = 64
+
+#: Word size of the FP data path in bytes (double precision).
+WORD_BYTES = 8
+
+#: Default system: M tiles x N GPEs per tile (paper evaluates 2 x 8).
+DEFAULT_TILES = 2
+DEFAULT_GPES_PER_TILE = 8
+
+#: Reduced off-chip bandwidth matching the scaled-down system (Section 5.2).
+DEFAULT_BANDWIDTH_GBPS = 1.0
+
+# ---------------------------------------------------------------------------
+# Voltage / frequency (paper Section 3.2.1)
+# ---------------------------------------------------------------------------
+
+#: Nominal supply voltage at the nominal frequency, volts.
+VDD_NOMINAL = 0.90
+
+#: Threshold voltage, volts.
+V_THRESHOLD = 0.30
+
+#: Minimum functional voltage is 1.3x the threshold voltage.
+V_MIN_RATIO = 1.3
+
+#: Nominal system clock, MHz; the divider produces f/2 .. f/32.
+F_NOMINAL_MHZ = 1000.0
+
+# ---------------------------------------------------------------------------
+# Latencies (cycles at the configured core clock unless stated otherwise)
+# ---------------------------------------------------------------------------
+
+#: Private L1 access (fixed 1-cycle per Section 3.2.3); extra cost of the
+#: shared crossbar path is computed by the contention model.
+L1_PRIVATE_LATENCY = 1
+L1_SHARED_BASE_LATENCY = 2
+
+#: L1-miss-to-L2 latency (crossbar + bank access).
+L2_LATENCY = 10
+
+#: Main-memory access latency, seconds (converted to cycles at runtime).
+DRAM_LATENCY_S = 100e-9
+
+#: Memory-level parallelism of the simple in-order GPEs: how many misses
+#: overlap on average, discounting stall cycles.
+MLP = 2.0
+
+#: Arbitration penalty per contended crossbar crossing, cycles.
+XBAR_CONTENTION_PENALTY = 2.0
+
+# ---------------------------------------------------------------------------
+# Dynamic energy per event at VDD_NOMINAL (joules)
+# ---------------------------------------------------------------------------
+
+#: Energy per instruction on a GPE/LCP in-order core (including fetch).
+E_CORE_OP = 9.0e-12
+
+#: L1 SRAM access energy for a 4 kB bank; scales ~ (capacity/4kB)**0.35.
+E_L1_BASE = 3.0e-12
+SRAM_ENERGY_EXPONENT = 0.35
+
+#: L2 banks are larger structures behind a crossbar.
+E_L2_BASE = 6.0e-12
+
+#: Scratchpad access saves the tag lookup relative to a cache access.
+SPM_ENERGY_FACTOR = 0.6
+
+#: Energy per word crossing a swizzle-switch crossbar.
+E_XBAR_TRANSFER = 2.0e-12
+
+#: Off-chip (HBM + controller + PHY) energy per byte.
+E_DRAM_BYTE = 25.0e-12
+
+# ---------------------------------------------------------------------------
+# Leakage power at VDD_NOMINAL (watts); scales linearly with voltage
+# ---------------------------------------------------------------------------
+
+#: Per-core leakage (GPE or LCP), includes its ICache and queues.
+P_LEAK_CORE = 0.8e-3
+
+#: SRAM leakage per kB provisioned (tag + data array).
+P_LEAK_SRAM_PER_KB = 0.28e-3
+
+#: Scratchpad mode power-gates the tag array and spare logic.
+SPM_LEAK_FACTOR = 0.7
+
+#: Fixed platform leakage: crossbars, memory controller, clocking.
+P_LEAK_PLATFORM = 2.0e-3
+
+#: Fraction of core+SRAM leakage that remains while power-gated during a
+#: cache flush (Section 5.2: cores, ICaches, queues gated while flushing).
+FLUSH_GATED_LEAK_FRACTION = 0.25
+
+# ---------------------------------------------------------------------------
+# Prefetcher (stride, PC-indexed; Section 3.2.5)
+# ---------------------------------------------------------------------------
+
+#: Coverage of strided compulsory misses at each aggressiveness level.
+PREFETCH_COVERAGE = {0: 0.0, 4: 0.70, 8: 0.85}
+
+#: Useless-prefetch traffic factor applied to the irregular fraction of
+#: the access stream at each aggressiveness level.
+PREFETCH_OVERFETCH = {0: 0.0, 4: 0.15, 8: 0.35}
+
+#: Cache pollution: effective capacity lost to useless prefetches.
+PREFETCH_POLLUTION = {0: 0.0, 4: 0.08, 8: 0.18}
+
+# ---------------------------------------------------------------------------
+# Reconfiguration costs (Section 3.4 / 5.2)
+# ---------------------------------------------------------------------------
+
+#: Fixed cost of a super-fine-grained change (clock, prefetcher, capacity
+#: increase), cycles at the *new* clock.
+RECONFIG_FIXED_CYCLES = 100
+
+#: Host-side telemetry + decision latency per epoch, host cycles.
+HOST_DECISION_CYCLES = 75
+
+#: Host clock used to convert decision cycles to time, MHz.
+HOST_CLOCK_MHZ = 2000.0
+
+#: Pessimistic dirty fraction assumed when flushing (paper assumes all
+#: lines dirty; measured systems see fewer).
+FLUSH_DIRTY_FRACTION = 1.0
+
+# ---------------------------------------------------------------------------
+# Workload interpretation
+# ---------------------------------------------------------------------------
+
+#: Imbalance sensitivity: epoch time inflation per unit of row skew
+#: (coefficient of variation of per-task work).
+IMBALANCE_COEFF = 0.35
+IMBALANCE_CAP = 2.0
+
+#: Conflict-miss discount applied to residency for irregular streams.
+CONFLICT_BASE = 0.03
+CONFLICT_IRREGULAR = 0.10
+
+#: Additional conflict/pollution when multiple requesters interleave
+#: their streams in a shared bank (scaled by 1 - 1/sharers).
+CONFLICT_SHARING = 0.15
+
+#: Memory-level parallelism range: irregular (gather) streams overlap
+#: fewer outstanding misses than strided ones.
+MLP_STRIDE_FLOOR = 0.4
+MLP_STRIDE_SLOPE = 0.8
+
+#: Fraction of a refetched line that is useful on a capacity re-miss.
+REFETCH_LINE_FACTOR = 0.6
+
+#: SPM maps the structured portion of the working set; fraction of the
+#: working set the software can tile into the scratchpad.
+SPM_MAPPABLE_FRACTION = 0.6
+
+#: Extra bookkeeping instructions (index arithmetic, DMA orchestration)
+#: when the L1 is configured as a scratchpad.
+SPM_ORCHESTRATION_OVERHEAD = 0.10
+
+#: Exponent of the soft-max roofline combining core time and memory time.
+ROOFLINE_SMOOTHNESS = 4.0
+
+#: Replication of shared lines when a level is privatized: how many
+#: private copies of a shared line are fetched, capped per level.
+REPLICATION_CAP_L1 = 4.0
+REPLICATION_CAP_L2 = 2.0
+
+#: Fraction of intra-tile sharing that persists across tiles (the L2
+#: privatization penalty is milder than the L1 one).
+TILE_SHARING_FACTOR = 0.7
+
+#: Access skew towards the SPM-mapped (hot) region of the working set.
+SPM_HOT_ACCESS_BOOST = 1.5
+
+#: LCP work (scheduling, load balancing) as a fraction of total GPE
+#: instructions, split across tiles.
+LCP_WORK_FRACTION = 0.05

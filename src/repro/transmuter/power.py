@@ -1,0 +1,128 @@
+"""Power and energy estimator.
+
+Mirrors the paper's estimator built from RTL synthesis reports
+(crossbars), Arm specifications (cores), and CACTI (SRAM), scaled to
+14 nm (Section 5.2). Dynamic energy is per-event and scales with
+``(V/VDD)^2`` under DVFS; leakage is proportional to provisioned
+hardware and scales with ``V/VDD``, paid over wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.transmuter import params
+from repro.transmuter.config import HardwareConfig
+from repro.transmuter.dvfs import OperatingPoint
+
+__all__ = ["EnergyBreakdown", "PowerModel"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-component energy of one epoch, joules."""
+
+    core_dynamic: float
+    l1_dynamic: float
+    l2_dynamic: float
+    xbar_dynamic: float
+    dram: float
+    leakage: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.core_dynamic
+            + self.l1_dynamic
+            + self.l2_dynamic
+            + self.xbar_dynamic
+            + self.dram
+            + self.leakage
+        )
+
+    @property
+    def on_chip(self) -> float:
+        return self.total - self.dram
+
+
+def _sram_access_energy(base: float, capacity_kb: float) -> float:
+    """CACTI-like access-energy scaling with bank capacity."""
+    return base * (capacity_kb / 4.0) ** params.SRAM_ENERGY_EXPONENT
+
+
+class PowerModel:
+    """Energy accounting for a Transmuter system of a given geometry."""
+
+    def __init__(
+        self,
+        n_tiles: int = params.DEFAULT_TILES,
+        gpes_per_tile: int = params.DEFAULT_GPES_PER_TILE,
+    ) -> None:
+        if n_tiles < 1 or gpes_per_tile < 1:
+            raise SimulationError("system geometry must be positive")
+        self.n_tiles = n_tiles
+        self.gpes_per_tile = gpes_per_tile
+
+    # ------------------------------------------------------------------
+    @property
+    def n_gpes(self) -> int:
+        return self.n_tiles * self.gpes_per_tile
+
+    @property
+    def n_cores(self) -> int:
+        """GPEs plus one LCP per tile."""
+        return self.n_gpes + self.n_tiles
+
+    def provisioned_l1_kb(self, config: HardwareConfig) -> float:
+        """Total L1 SRAM: one bank per GPE."""
+        return config.l1_kb * self.n_gpes
+
+    def provisioned_l2_kb(self, config: HardwareConfig) -> float:
+        """Total L2 SRAM: one bank per tile."""
+        return config.l2_kb * self.n_tiles
+
+    # ------------------------------------------------------------------
+    def leakage_power(
+        self, config: HardwareConfig, point: OperatingPoint
+    ) -> float:
+        """Static power of the configured system, watts."""
+        l1_factor = (
+            params.SPM_LEAK_FACTOR if config.l1_type == "spm" else 1.0
+        )
+        sram_leak = params.P_LEAK_SRAM_PER_KB * (
+            self.provisioned_l1_kb(config) * l1_factor
+            + self.provisioned_l2_kb(config)
+        )
+        core_leak = params.P_LEAK_CORE * self.n_cores
+        return (
+            core_leak + sram_leak + params.P_LEAK_PLATFORM
+        ) * point.leakage_scale
+
+    def epoch_energy(
+        self,
+        config: HardwareConfig,
+        point: OperatingPoint,
+        elapsed_s: float,
+        core_ops: float,
+        l1_accesses: float,
+        l2_accesses: float,
+        xbar_transfers: float,
+        dram_bytes: float,
+    ) -> EnergyBreakdown:
+        """Total energy of one epoch from event counts and duration."""
+        if elapsed_s < 0:
+            raise SimulationError("negative epoch duration")
+        scale = point.dynamic_scale
+        l1_energy = _sram_access_energy(params.E_L1_BASE, config.l1_kb)
+        if config.l1_type == "spm":
+            l1_energy *= params.SPM_ENERGY_FACTOR
+        l2_energy = _sram_access_energy(params.E_L2_BASE, config.l2_kb)
+        return EnergyBreakdown(
+            core_dynamic=core_ops * params.E_CORE_OP * scale,
+            l1_dynamic=l1_accesses * l1_energy * scale,
+            l2_dynamic=l2_accesses * l2_energy * scale,
+            xbar_dynamic=xbar_transfers * params.E_XBAR_TRANSFER * scale,
+            dram=dram_bytes * params.E_DRAM_BYTE,
+            leakage=self.leakage_power(config, point) * elapsed_s,
+        )

@@ -1,0 +1,155 @@
+"""Epoch workload descriptor: the kernel -> machine-model interface.
+
+The kernels in :mod:`repro.kernels` execute real algorithms on real
+sparse data and summarize each epoch (a fixed budget of floating-point
+operations, Section 4 of the paper) into an :class:`EpochWorkload`.
+The machine model consumes only this summary, which is what makes
+whole-program simulation across hundreds of hardware configurations
+tractable: epoch behaviour under a configuration is recomputed
+analytically rather than replayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import SimulationError
+from repro.transmuter import params
+
+__all__ = ["EpochWorkload", "PHASE_MULTIPLY", "PHASE_MERGE", "PHASE_SPMSPV",
+           "PHASE_GEMM", "PHASE_CONV"]
+
+PHASE_MULTIPLY = "multiply"
+PHASE_MERGE = "merge"
+PHASE_SPMSPV = "spmspv"
+PHASE_GEMM = "gemm"
+PHASE_CONV = "conv"
+
+
+@dataclass(frozen=True)
+class EpochWorkload:
+    """Aggregate description of one epoch of kernel execution.
+
+    Attributes
+    ----------
+    phase:
+        Explicit-phase label (``multiply``, ``merge``, ``spmspv``, ...).
+    fp_ops:
+        Floating-point operations *including FP loads and stores* — the
+        quantity the paper uses to delimit epochs.
+    flops:
+        Arithmetic floating-point operations only (multiplies/adds),
+        the numerator of GFLOPS.
+    int_ops:
+        Bookkeeping (integer/control) instructions.
+    loads / stores:
+        Word-granular memory accesses issued by the GPEs.
+    unique_words / unique_lines:
+        Distinct words and distinct cache lines touched in the epoch.
+    stride_fraction:
+        Fraction of the access stream that is sequential or strided
+        (prefetchable).
+    shared_fraction:
+        Fraction of the touched data shared between GPEs (benefits the
+        shared cache modes).
+    read_bytes_compulsory:
+        Bytes that must be fetched from DRAM at least once this epoch.
+    write_bytes:
+        Bytes of results streamed out towards DRAM this epoch.
+    work_skew:
+        Coefficient of variation of per-work-item cost within the epoch
+        — drives the load-imbalance penalty (power-law rows hurt).
+    reuse_locality:
+        Spatial locality of the *re-referenced* data specifically (0 =
+        scattered gather like a power-law accumulator, 1 = sequential
+        re-scan). The epoch-wide ``stride_fraction`` is dominated by
+        streaming first touches and must not vouch for the reuse
+        stream.
+    resident_bytes:
+        Live working set the kernel benefits from keeping cached while
+        this epoch runs (e.g. the SpMSpV accumulator built up over
+        *previous* epochs, or the operand buffers of the outer products
+        in flight). Short epochs touch few bytes themselves, but their
+        reuse references still land in this resident structure, so
+        capacity decisions must be judged against it.
+    """
+
+    phase: str
+    fp_ops: float
+    flops: float
+    int_ops: float
+    loads: float
+    stores: float
+    unique_words: float
+    unique_lines: float
+    stride_fraction: float
+    shared_fraction: float
+    read_bytes_compulsory: float
+    write_bytes: float
+    work_skew: float = 0.0
+    resident_bytes: float = 0.0
+    reuse_locality: float = 0.5
+
+    def __post_init__(self) -> None:
+        numeric = (
+            self.fp_ops,
+            self.flops,
+            self.int_ops,
+            self.loads,
+            self.stores,
+            self.unique_words,
+            self.unique_lines,
+            self.read_bytes_compulsory,
+            self.write_bytes,
+            self.work_skew,
+            self.resident_bytes,
+        )
+        if any(value < 0 for value in numeric):
+            raise SimulationError(f"negative workload field in {self!r}")
+        if not 0.0 <= self.stride_fraction <= 1.0:
+            raise SimulationError("stride_fraction must be in [0, 1]")
+        if not 0.0 <= self.shared_fraction <= 1.0:
+            raise SimulationError("shared_fraction must be in [0, 1]")
+        if not 0.0 <= self.reuse_locality <= 1.0:
+            raise SimulationError("reuse_locality must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+    @property
+    def accesses(self) -> float:
+        """Total word-granular demand accesses."""
+        return self.loads + self.stores
+
+    @property
+    def instructions(self) -> float:
+        """Total instructions issued by the GPEs."""
+        return self.flops + self.int_ops + self.accesses
+
+    @property
+    def working_set_bytes(self) -> float:
+        """Deduplicated bytes touched this epoch."""
+        return self.unique_lines * params.CACHE_LINE_BYTES
+
+    @property
+    def live_set_bytes(self) -> float:
+        """Working set the caches are judged against: the larger of the
+        epoch footprint and the live (cross-epoch) resident structure."""
+        return max(self.working_set_bytes, self.resident_bytes)
+
+    def scaled(self, factor: float) -> "EpochWorkload":
+        """Uniformly scale all extensive quantities (for splitting an
+        epoch, e.g. when ProfileAdapt runs part of it in the profiling
+        configuration)."""
+        if factor < 0:
+            raise SimulationError("scale factor must be non-negative")
+        return replace(
+            self,
+            fp_ops=self.fp_ops * factor,
+            flops=self.flops * factor,
+            int_ops=self.int_ops * factor,
+            loads=self.loads * factor,
+            stores=self.stores * factor,
+            unique_words=self.unique_words * factor,
+            unique_lines=self.unique_lines * factor,
+            read_bytes_compulsory=self.read_bytes_compulsory * factor,
+            write_bytes=self.write_bytes * factor,
+        )

@@ -1,0 +1,77 @@
+"""Shared fixtures: small inputs, machines, traces, and trained models.
+
+Model training is the slow step (seconds), so trained models are
+session-scoped and the quick (no grid search) recipe is used; the full
+hyperparameter sweep is exercised by its own dedicated test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.modes import OptimizationMode
+from repro.core.training import train_default_model
+from repro.kernels import trace_spmspm, trace_spmspv
+from repro.sparse import generators
+from repro.transmuter.machine import TransmuterModel
+
+
+@pytest.fixture(scope="session")
+def small_uniform():
+    """64x64 uniform random matrix, ~10% dense."""
+    return generators.uniform_random(64, 64, 0.10, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_powerlaw():
+    """256x256 R-MAT matrix with ~1500 nnz."""
+    return generators.rmat(256, 1500, seed=12)
+
+
+@pytest.fixture(scope="session")
+def small_vector(small_powerlaw):
+    """50%-dense sparse vector matching the power-law matrix."""
+    return generators.random_vector(small_powerlaw.shape[1], 0.5, seed=13)
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """Default 2x8 Transmuter at 1 GB/s."""
+    return TransmuterModel()
+
+
+@pytest.fixture(scope="session")
+def spmspm_trace(small_uniform):
+    """OP-SpMSpM trace of C = A A^T on the small uniform matrix."""
+    return trace_spmspm(
+        small_uniform.to_csc(), small_uniform.transpose().to_csr()
+    )
+
+
+@pytest.fixture(scope="session")
+def spmspv_trace(small_powerlaw, small_vector):
+    """SpMSpV trace on the power-law matrix."""
+    return trace_spmspv(small_powerlaw.to_csc(), small_vector)
+
+
+@pytest.fixture(scope="session")
+def model_ee():
+    """Quick-trained Energy-Efficient model (cached process-wide)."""
+    return train_default_model(
+        OptimizationMode.ENERGY_EFFICIENT, kernel="spmspv", quick=True
+    )
+
+
+@pytest.fixture(scope="session")
+def model_pp():
+    """Quick-trained Power-Performance model (cached process-wide)."""
+    return train_default_model(
+        OptimizationMode.POWER_PERFORMANCE, kernel="spmspv", quick=True
+    )
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(0)

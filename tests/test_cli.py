@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.kernel == "spmspm"
+        assert args.matrix == "R03"
+        assert args.mode == "ee"
+
+    def test_experiment_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "3600 points" in out
+        assert "Baseline" in out
+        assert "Max Cfg" in out
+
+    def test_suite(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "R16" in out
+        assert "wiki-Vote_11" in out
+
+    def test_train_and_run_with_saved_model(self, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        assert (
+            main(
+                [
+                    "train",
+                    "--mode",
+                    "ee",
+                    "--kernel",
+                    "spmspv",
+                    "--out",
+                    str(model_path),
+                ]
+            )
+            == 0
+        )
+        assert model_path.exists()
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "run",
+                    "--kernel",
+                    "spmspv",
+                    "--matrix",
+                    "P1",
+                    "--scale",
+                    "0.15",
+                    "--model",
+                    str(model_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "SparseAdapt" in out
+        assert "Baseline" in out
+
+    def test_run_standard(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--kernel",
+                    "spmspm",
+                    "--matrix",
+                    "R03",
+                    "--scale",
+                    "0.2",
+                    "--mode",
+                    "pp",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Max Cfg" in out
+        assert "GFLOPS/W" in out
+
+    def test_experiment_sec7(self, capsys):
+        assert main(["experiment", "sec7"]) == 0
+        out = capsys.readouterr().out
+        assert "gemm" in out
+        assert "conv" in out

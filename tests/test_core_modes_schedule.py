@@ -1,0 +1,155 @@
+"""Unit tests for optimization modes, telemetry, and schedule containers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    OptimizationMode,
+    build_features,
+    cost_value,
+    feature_groups,
+    feature_names,
+    metric_value,
+)
+from repro.core.schedule import EpochRecord, ScheduleResult
+from repro.errors import SimulationError
+from repro.transmuter import EpochWorkload, HardwareConfig
+
+
+def make_record(machine, index=0, config=None, reconfig=None):
+    workload = EpochWorkload(
+        phase="spmspv",
+        fp_ops=500.0, flops=250.0, int_ops=300.0,
+        loads=500.0, stores=250.0,
+        unique_words=600.0, unique_lines=90.0,
+        stride_fraction=0.7, shared_fraction=0.4,
+        read_bytes_compulsory=4800.0, write_bytes=3000.0,
+    )
+    config = config or HardwareConfig()
+    return EpochRecord(
+        index=index,
+        config=config,
+        result=machine.simulate_epoch(workload, config),
+        reconfig=reconfig,
+    )
+
+
+class TestModes:
+    def test_metric_definitions(self):
+        flops, t, e = 2e9, 2.0, 4.0
+        gflops = flops / t / 1e9
+        watts = e / t
+        assert metric_value(
+            OptimizationMode.ENERGY_EFFICIENT, flops, t, e
+        ) == pytest.approx(gflops / watts)
+        assert metric_value(
+            OptimizationMode.POWER_PERFORMANCE, flops, t, e
+        ) == pytest.approx(gflops**3 / watts)
+
+    def test_ee_metric_is_flops_over_energy(self):
+        """GFLOPS/W = flops/energy: time must cancel."""
+        a = metric_value(OptimizationMode.ENERGY_EFFICIENT, 1e9, 1.0, 2.0)
+        b = metric_value(OptimizationMode.ENERGY_EFFICIENT, 1e9, 7.0, 2.0)
+        assert a == pytest.approx(b)
+
+    def test_cost_value_equivalence(self):
+        """Minimizing the cost must maximize the metric (fixed flops)."""
+        flops = 1e9
+        points = [(1.0, 2.0), (2.0, 1.0), (1.5, 1.5)]
+        for mode in OptimizationMode:
+            by_cost = min(points, key=lambda p: cost_value(mode, *p))
+            by_metric = max(
+                points, key=lambda p: metric_value(mode, flops, *p)
+            )
+            assert by_cost == by_metric
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SimulationError):
+            metric_value(OptimizationMode.ENERGY_EFFICIENT, 1.0, 0.0, 1.0)
+        with pytest.raises(SimulationError):
+            cost_value(OptimizationMode.ENERGY_EFFICIENT, -1.0, 1.0)
+
+    def test_metric_names(self):
+        assert OptimizationMode.ENERGY_EFFICIENT.metric_name == "GFLOPS/W"
+        assert OptimizationMode.POWER_PERFORMANCE.metric_name == "GFLOPS^3/W"
+
+
+class TestTelemetry:
+    def test_feature_vector_layout(self, machine):
+        record = make_record(machine)
+        features = build_features(record.result.counters, record.config)
+        names = feature_names()
+        groups = feature_groups()
+        assert features.shape == (len(names),)
+        assert len(groups) == len(names)
+        assert names[-6:] == HardwareConfig.feature_names()
+
+    def test_config_echo_changes_features(self, machine):
+        record = make_record(machine)
+        a = build_features(record.result.counters, HardwareConfig())
+        b = build_features(
+            record.result.counters, HardwareConfig(l2_kb=64)
+        )
+        assert not np.array_equal(a, b)
+
+    def test_augmented_features_present(self):
+        assert "aug_dram_total_utilization" in feature_names()
+
+
+class TestScheduleResult:
+    def test_totals_accumulate(self, machine):
+        schedule = ScheduleResult(scheme="test")
+        for i in range(3):
+            schedule.append(make_record(machine, index=i))
+        single = make_record(machine).result
+        assert schedule.n_epochs == 3
+        assert schedule.total_flops == pytest.approx(3 * single.flops)
+        assert schedule.total_time_s == pytest.approx(3 * single.time_s)
+        assert schedule.total_energy_j == pytest.approx(3 * single.energy_j)
+
+    def test_reconfig_cost_included(self, machine):
+        from repro.transmuter.reconfig import reconfiguration_cost
+
+        cost = reconfiguration_cost(
+            HardwareConfig(clock_mhz=1000.0),
+            HardwareConfig(clock_mhz=500.0),
+            machine.power,
+        )
+        schedule = ScheduleResult(scheme="test")
+        schedule.append(make_record(machine, reconfig=cost))
+        plain = ScheduleResult(scheme="plain")
+        plain.append(make_record(machine))
+        assert schedule.total_time_s > plain.total_time_s
+        assert schedule.n_reconfigurations == 1
+        assert plain.n_reconfigurations == 0
+
+    def test_overheads_counted(self, machine):
+        schedule = ScheduleResult(scheme="test")
+        schedule.append(make_record(machine))
+        schedule.overhead_time_s = 1.0
+        schedule.overhead_energy_j = 2.0
+        assert schedule.total_time_s > 1.0
+        assert schedule.total_energy_j > 2.0
+
+    def test_metric_and_summary(self, machine):
+        schedule = ScheduleResult(scheme="test")
+        schedule.append(make_record(machine))
+        for mode in OptimizationMode:
+            assert schedule.metric(mode) > 0
+        summary = schedule.summary()
+        assert summary["scheme"] == "test"
+        assert summary["epochs"] == 1
+
+    def test_empty_schedule_has_no_metric(self):
+        with pytest.raises(SimulationError):
+            ScheduleResult(scheme="empty").metric(
+                OptimizationMode.ENERGY_EFFICIENT
+            )
+
+    def test_config_sequence(self, machine):
+        schedule = ScheduleResult(scheme="test")
+        fast = HardwareConfig(clock_mhz=1000.0)
+        slow = HardwareConfig(clock_mhz=125.0)
+        schedule.append(make_record(machine, 0, fast))
+        schedule.append(make_record(machine, 1, slow))
+        assert schedule.config_sequence() == [fast, slow]

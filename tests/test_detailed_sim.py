@@ -1,0 +1,108 @@
+"""Cross-validation of the analytic machine model against the
+trace-driven detailed simulation on *real kernel epochs*."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.transmuter import HardwareConfig, TransmuterModel
+from repro.transmuter.detailed import (
+    simulate_epoch_detailed,
+    synthesize_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def spmspv_epoch(spmspv_trace):
+    """A mid-trace SpMSpV epoch (accumulator already populated)."""
+    return spmspv_trace.epochs[len(spmspv_trace.epochs) // 2]
+
+
+@pytest.fixture(scope="module")
+def multiply_epoch(spmspm_trace):
+    return next(
+        e for e in spmspm_trace.epochs if e.phase == "multiply"
+    )
+
+
+class TestTraceSynthesis:
+    def test_trace_length_matches_accesses(self, spmspv_epoch):
+        trace = synthesize_trace(spmspv_epoch, seed=0)
+        assert trace.size == int(spmspv_epoch.accesses)
+
+    def test_subsampling_caps_length(self, multiply_epoch):
+        trace = synthesize_trace(multiply_epoch, seed=0, max_accesses=500)
+        assert trace.size <= 500
+
+    def test_deterministic_per_seed(self, spmspv_epoch):
+        a = synthesize_trace(spmspv_epoch, seed=3)
+        b = synthesize_trace(spmspv_epoch, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_distinct_words_close_to_workload(self, spmspv_epoch):
+        trace = synthesize_trace(spmspv_epoch, seed=0)
+        distinct = np.unique(trace).size
+        # Streaming words + touched slice of the resident region; should
+        # be on the order of the workload's unique words (not 1, not A).
+        assert distinct > 0.2 * spmspv_epoch.unique_words
+        assert distinct <= trace.size
+
+    def test_empty_workload_rejected(self, spmspv_epoch):
+        with pytest.raises(SimulationError):
+            synthesize_trace(spmspv_epoch.scaled(0.0))
+
+
+class TestDetailedVsAnalytic:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            HardwareConfig(),  # baseline
+            HardwareConfig(l1_kb=64, l2_kb=64),
+            HardwareConfig(l1_sharing="private", l2_kb=16),
+        ],
+        ids=["baseline", "max-caches", "private-l1"],
+    )
+    def test_l1_hit_rate_within_tolerance(self, spmspv_epoch, config):
+        machine = TransmuterModel()
+        analytic = machine.simulate_epoch(spmspv_epoch, config)
+        detailed = simulate_epoch_detailed(spmspv_epoch, config, seed=0)
+        assert analytic.counters.l1_miss_rate == pytest.approx(
+            1.0 - detailed.l1_hit_rate, abs=0.30
+        )
+
+    def test_capacity_ordering_agrees(self, spmspv_epoch):
+        """Both models must rank configurations the same way by L1
+        misses when only the capacity changes."""
+        machine = TransmuterModel()
+        analytic_misses = []
+        detailed_misses = []
+        for capacity in (4, 16, 64):
+            config = HardwareConfig(l1_kb=capacity)
+            analytic = machine.simulate_epoch(spmspv_epoch, config)
+            detailed = simulate_epoch_detailed(
+                spmspv_epoch, config, seed=0
+            )
+            analytic_misses.append(analytic.counters.l1_miss_rate)
+            detailed_misses.append(1.0 - detailed.l1_hit_rate)
+        assert analytic_misses == sorted(analytic_misses, reverse=True)
+        assert detailed_misses == sorted(detailed_misses, reverse=True)
+
+    def test_multiply_epoch_streaming_behaviour(self, multiply_epoch):
+        """The multiply phase is stream-dominated: the detailed replay
+        must show the high spatial hit rate the analytic model claims."""
+        machine = TransmuterModel()
+        config = HardwareConfig()
+        analytic = machine.simulate_epoch(multiply_epoch, config)
+        detailed = simulate_epoch_detailed(
+            multiply_epoch, config, seed=0, max_accesses=50_000
+        )
+        assert detailed.l1_hit_rate > 0.5
+        assert analytic.counters.l1_miss_rate == pytest.approx(
+            1.0 - detailed.l1_hit_rate, abs=0.35
+        )
+
+    def test_spm_mode_rejected(self, spmspv_epoch):
+        with pytest.raises(SimulationError):
+            simulate_epoch_detailed(
+                spmspv_epoch, HardwareConfig(l1_type="spm")
+            )

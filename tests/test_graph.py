@@ -1,0 +1,141 @@
+"""Unit tests for BFS/SSSP vertex programs and graph metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, SimulationError
+from repro.graph import bfs, sssp, teps, teps_per_watt
+from repro.sparse import COOMatrix, generators
+
+
+def path_graph(n=5):
+    """Directed path 0 -> 1 -> ... -> n-1 with weight 2 edges."""
+    dense = np.zeros((n, n))
+    for i in range(n - 1):
+        dense[i + 1, i] = 2.0  # column v holds out-edges of v
+    return COOMatrix.from_dense(dense)
+
+
+def star_graph(n=6):
+    """Vertex 0 points at everyone else."""
+    dense = np.zeros((n, n))
+    dense[1:, 0] = 1.0
+    return COOMatrix.from_dense(dense)
+
+
+class TestBFS:
+    def test_path_levels(self):
+        result = bfs(path_graph(5).to_csc(), source=0)
+        assert list(result.levels) == [0, 1, 2, 3, 4]
+        assert result.n_iterations == 4
+
+    def test_star_levels(self):
+        result = bfs(star_graph(6).to_csc(), source=0)
+        assert result.levels[0] == 0
+        assert all(result.levels[1:] == 1)
+        assert result.n_iterations == 1
+
+    def test_unreachable_marked(self):
+        dense = np.zeros((4, 4))
+        dense[1, 0] = 1.0
+        result = bfs(COOMatrix.from_dense(dense).to_csc(), source=0)
+        assert result.levels[2] == -1
+        assert result.levels[3] == -1
+        assert result.reached == 2
+
+    def test_matches_reference_bfs(self, small_powerlaw):
+        csc = small_powerlaw.to_csc()
+        result = bfs(csc, source=0)
+        # Reference BFS on the same column-directed graph.
+        n = csc.shape[0]
+        levels = np.full(n, -1)
+        levels[0] = 0
+        frontier = [0]
+        depth = 0
+        while frontier:
+            depth += 1
+            nxt = []
+            for v in frontier:
+                rows, _ = csc.col(v)
+                for r in rows:
+                    if levels[r] < 0:
+                        levels[r] = depth
+                        nxt.append(int(r))
+            frontier = nxt
+        assert np.array_equal(result.levels, levels)
+
+    def test_edges_traversed_counted(self):
+        result = bfs(star_graph(6).to_csc(), source=0)
+        assert result.edges_traversed == 5
+
+    def test_trace_has_epochs(self, small_powerlaw):
+        csc = small_powerlaw.to_csc()
+        source = int(np.argmax(csc.col_lengths()))  # a hub with out-edges
+        result = bfs(csc, source=source)
+        assert result.trace.n_epochs >= 1
+        assert result.trace.info["iterations"] == result.n_iterations
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(ShapeError):
+            bfs(path_graph(4).to_csc(), source=99)
+
+    def test_non_square_rejected(self):
+        rect = generators.uniform_random(4, 6, 0.5, seed=0)
+        with pytest.raises(ShapeError):
+            bfs(rect.to_csc(), source=0)
+
+
+class TestSSSP:
+    def test_path_distances(self):
+        result = sssp(path_graph(5).to_csc(), source=0)
+        assert np.allclose(result.distances, [0.0, 2.0, 4.0, 6.0, 8.0])
+
+    def test_shorter_path_wins(self):
+        # 0 -> 1 -> 2 costs 2; direct 0 -> 2 costs 5.
+        dense = np.zeros((3, 3))
+        dense[1, 0] = 1.0
+        dense[2, 1] = 1.0
+        dense[2, 0] = 5.0
+        result = sssp(COOMatrix.from_dense(dense).to_csc(), source=0)
+        assert result.distances[2] == pytest.approx(2.0)
+
+    def test_unreachable_is_infinite(self):
+        dense = np.zeros((3, 3))
+        dense[1, 0] = 1.0
+        result = sssp(COOMatrix.from_dense(dense).to_csc(), source=0)
+        assert np.isinf(result.distances[2])
+
+    def test_agrees_with_bfs_on_unit_weights(self):
+        """On a unit-weight graph, SSSP distance equals BFS level."""
+        graph = generators.rmat(64, 300, seed=9)
+        unit = COOMatrix(
+            graph.rows, graph.cols, np.ones(graph.nnz), graph.shape
+        )
+        csc = unit.to_csc()
+        bfs_result = bfs(csc, source=0)
+        sssp_result = sssp(csc, source=0)
+        reachable = bfs_result.levels >= 0
+        assert np.allclose(
+            sssp_result.distances[reachable], bfs_result.levels[reachable]
+        )
+        assert np.all(np.isinf(sssp_result.distances[~reachable]))
+
+    def test_trace_records_relaxations(self):
+        result = sssp(path_graph(4).to_csc(), source=0)
+        assert result.edges_relaxed == 3
+        assert result.trace.info["reached"] == 4.0
+
+
+class TestGraphMetrics:
+    def test_teps(self):
+        assert teps(1000, 0.5) == pytest.approx(2000.0)
+
+    def test_teps_per_watt(self):
+        # 1000 edges in 1 s at 2 W -> 500 TEPS/W.
+        assert teps_per_watt(1000, 1.0, 2.0) == pytest.approx(500.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SimulationError):
+            teps(10, 0.0)
+        with pytest.raises(SimulationError):
+            teps_per_watt(10, 1.0, 0.0)

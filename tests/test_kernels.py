@@ -1,0 +1,180 @@
+"""Unit tests for the kernel workload models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, SimulationError
+from repro.kernels import (
+    EpochAccumulator,
+    trace_conv,
+    trace_gemm,
+    trace_spmspm,
+    trace_spmspv,
+)
+from repro.sparse import generators, ops
+from repro.sparse.vector import SparseVector
+from repro.transmuter.workload import PHASE_MERGE, PHASE_MULTIPLY, PHASE_SPMSPV
+
+
+class TestEpochAccumulator:
+    def test_cuts_at_budget(self):
+        accumulator = EpochAccumulator("multiply", epoch_fp_ops=100.0)
+        for _ in range(10):
+            accumulator.add(
+                flops=10.0, fp_loads=10.0, fp_stores=5.0, int_ops=5.0,
+                loads=10.0, stores=5.0, unique_words=20.0, unique_lines=3.0,
+                stride_fraction=0.5, shared_fraction=0.2,
+                read_bytes=100.0, write_bytes=50.0,
+            )
+        epochs = accumulator.finish()
+        assert len(epochs) == 3  # 10 tasks x 25 fp-ops, budget 100
+        assert epochs[0].fp_ops >= 100.0
+
+    def test_partial_epoch_flushed_on_finish(self):
+        accumulator = EpochAccumulator("merge", epoch_fp_ops=1000.0)
+        accumulator.add(
+            flops=10.0, fp_loads=0.0, fp_stores=0.0, int_ops=0.0,
+            loads=0.0, stores=0.0, unique_words=1.0, unique_lines=1.0,
+            stride_fraction=0.5, shared_fraction=0.0,
+            read_bytes=0.0, write_bytes=0.0,
+        )
+        epochs = accumulator.finish()
+        assert len(epochs) == 1
+        assert epochs[0].fp_ops == 10.0
+
+    def test_skew_computed_from_task_spread(self):
+        accumulator = EpochAccumulator("merge", epoch_fp_ops=1e9)
+        for work in (1.0, 1.0, 1.0, 100.0):
+            accumulator.add(
+                flops=work, fp_loads=0.0, fp_stores=0.0, int_ops=0.0,
+                loads=0.0, stores=0.0, unique_words=1.0, unique_lines=1.0,
+                stride_fraction=0.5, shared_fraction=0.0,
+                read_bytes=0.0, write_bytes=0.0,
+            )
+        (epoch,) = accumulator.finish()
+        assert epoch.work_skew > 1.0
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(SimulationError):
+            EpochAccumulator("x", epoch_fp_ops=0.0)
+
+
+class TestSpMSpM:
+    def test_two_explicit_phases_in_order(self, spmspm_trace):
+        assert spmspm_trace.phases() == [PHASE_MULTIPLY, PHASE_MERGE]
+
+    def test_flops_match_partial_products(self, small_uniform):
+        a_csc = small_uniform.to_csc()
+        b_csr = small_uniform.transpose().to_csr()
+        trace = trace_spmspm(a_csc, b_csr)
+        partials = ops.total_partial_products(a_csc, b_csr)
+        multiply_flops = sum(
+            e.flops for e in trace.epochs if e.phase == PHASE_MULTIPLY
+        )
+        assert multiply_flops == pytest.approx(partials)
+
+    def test_merge_flops_match_partials(self, small_uniform):
+        a_csc = small_uniform.to_csc()
+        b_csr = small_uniform.transpose().to_csr()
+        trace = trace_spmspm(a_csc, b_csr)
+        merge_flops = sum(
+            e.flops for e in trace.epochs if e.phase == PHASE_MERGE
+        )
+        assert merge_flops == pytest.approx(
+            ops.total_partial_products(a_csc, b_csr)
+        )
+
+    def test_phase_character_differs(self, spmspm_trace):
+        multiply = [e for e in spmspm_trace.epochs if e.phase == PHASE_MULTIPLY]
+        merge = [e for e in spmspm_trace.epochs if e.phase == PHASE_MERGE]
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean([e.stride_fraction for e in multiply]) > mean(
+            [e.stride_fraction for e in merge]
+        )
+        assert mean([e.shared_fraction for e in multiply]) > mean(
+            [e.shared_fraction for e in merge]
+        )
+
+    def test_power_law_creates_epoch_diversity(self, small_powerlaw):
+        """Implicit phases: epoch statistics must vary for skewed data."""
+        trace = trace_spmspm(
+            small_powerlaw.to_csc(), small_powerlaw.transpose().to_csr()
+        )
+        multiply = [e for e in trace.epochs if e.phase == PHASE_MULTIPLY]
+        working_sets = np.array([e.unique_words for e in multiply])
+        assert working_sets.std() / working_sets.mean() > 0.2
+
+    def test_shape_mismatch_rejected(self, small_uniform):
+        other = generators.uniform_random(10, 10, 0.5, seed=0)
+        with pytest.raises(ShapeError):
+            trace_spmspm(small_uniform.to_csc(), other.to_csr())
+
+    def test_info_fields(self, spmspm_trace):
+        assert spmspm_trace.info["partial_products"] > 0
+        assert spmspm_trace.info["multiply_epochs"] >= 1
+        assert spmspm_trace.info["merge_epochs"] >= 1
+
+
+class TestSpMSpV:
+    def test_single_phase(self, spmspv_trace):
+        assert spmspv_trace.phases() == [PHASE_SPMSPV]
+
+    def test_flops_counted(self, small_powerlaw, small_vector):
+        trace = trace_spmspv(small_powerlaw.to_csc(), small_vector)
+        expected = 2.0 * sum(
+            small_powerlaw.to_csc().col_nnz(int(j))
+            for j in small_vector.indices
+        )
+        assert trace.total_flops == pytest.approx(expected)
+
+    def test_output_nnz_reported(self, small_powerlaw, small_vector):
+        trace = trace_spmspv(small_powerlaw.to_csc(), small_vector)
+        reference = ops.spmspv_reference(small_powerlaw.to_csc(), small_vector)
+        # touched accumulator entries = structural nnz of the output
+        assert trace.info["y_nnz"] >= reference.nnz
+
+    def test_empty_vector_gives_no_epochs(self, small_powerlaw):
+        trace = trace_spmspv(
+            small_powerlaw.to_csc(), SparseVector.empty(small_powerlaw.shape[1])
+        )
+        assert trace.n_epochs == 0
+
+    def test_accumulator_reuse_changes_sharing(self, small_powerlaw):
+        """Later epochs revisit the accumulator more (fewer new touches),
+        so their shared fraction falls relative to the first epochs."""
+        dense_vector = generators.random_vector(
+            small_powerlaw.shape[1], 0.9, seed=5
+        )
+        trace = trace_spmspv(small_powerlaw.to_csc(), dense_vector)
+        if trace.n_epochs >= 4:
+            first = np.mean([e.shared_fraction for e in trace.epochs[:2]])
+            last = np.mean([e.shared_fraction for e in trace.epochs[-2:]])
+            assert last <= first
+
+    def test_dimension_mismatch_rejected(self, small_powerlaw):
+        with pytest.raises(ShapeError):
+            trace_spmspv(small_powerlaw.to_csc(), SparseVector.empty(3))
+
+
+class TestRegularKernels:
+    def test_gemm_epochs_uniform(self):
+        trace = trace_gemm(64, 64, 64)
+        assert trace.n_epochs > 2
+        strides = {round(e.stride_fraction, 3) for e in trace.epochs}
+        assert len(strides) == 1  # perfectly regular
+
+    def test_gemm_flop_count(self):
+        trace = trace_gemm(64, 64, 64, tile=32)
+        assert trace.total_flops == pytest.approx(2 * 64**3, rel=0.01)
+
+    def test_conv_flop_count(self):
+        h = w = 32
+        trace = trace_conv(h, w, kernel=3)
+        out = (h - 2) * (w - 2)
+        assert trace.total_flops == pytest.approx(2 * 9 * out, rel=0.01)
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ShapeError):
+            trace_gemm(0, 4, 4)
+        with pytest.raises(ShapeError):
+            trace_conv(4, 4, kernel=9)

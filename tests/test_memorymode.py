@@ -1,0 +1,165 @@
+"""Tests for the dynamic memory-mode extension (paper Section 7)."""
+
+import pytest
+
+from repro.core import (
+    HybridPolicy,
+    MemoryModeController,
+    MemoryModeModel,
+    OptimizationMode,
+    SparseAdaptController,
+    train_memory_mode_model,
+)
+from repro.errors import ConfigError, ModelError
+from repro.experiments.harness import build_trace
+from repro.transmuter import HardwareConfig, TransmuterModel
+from repro.transmuter.reconfig import (
+    MEMORY_MODE_SWITCH_CYCLES,
+    changed_parameters,
+    reconfiguration_cost,
+)
+
+EE = OptimizationMode.ENERGY_EFFICIENT
+
+
+@pytest.fixture(scope="module")
+def memory_model():
+    return train_memory_mode_model(EE, kernel="spmspv", quick=True)
+
+
+class TestReconfigExtension:
+    def test_type_change_rejected_by_default(self, machine):
+        cache = HardwareConfig(l1_type="cache")
+        spm = HardwareConfig(l1_type="spm")
+        with pytest.raises(ConfigError):
+            changed_parameters(cache, spm)
+
+    def test_type_change_allowed_when_opted_in(self, machine):
+        cache = HardwareConfig(l1_type="cache")
+        spm = HardwareConfig(l1_type="spm")
+        changed = changed_parameters(cache, spm, allow_memory_mode=True)
+        assert "l1_type" in changed
+
+    def test_switch_cost_is_coarse(self, machine):
+        cache = HardwareConfig(l1_type="cache", l1_kb=16)
+        spm = HardwareConfig(l1_type="spm", l1_kb=4)
+        cost = reconfiguration_cost(
+            cache, spm, machine.power, allow_memory_mode=True
+        )
+        # At least the code-switch time plus the L1 re-orchestration.
+        assert cost.time_s >= MEMORY_MODE_SWITCH_CYCLES / 1e9
+        assert cost.flushed_l1
+        # Far more expensive than a super-fine change.
+        fine = reconfiguration_cost(
+            cache, cache.with_value("clock_mhz", 500.0), machine.power
+        )
+        assert cost.time_s > 20 * fine.time_s
+
+
+class TestMemoryModeModel:
+    def test_predicts_valid_type(self, memory_model, machine, spmspv_trace):
+        counters = machine.simulate_epoch(
+            spmspv_trace.epochs[0], HardwareConfig()
+        ).counters
+        assert memory_model.predict_type(
+            counters, HardwareConfig()
+        ) in ("cache", "spm")
+
+    def test_prediction_has_consistent_type(
+        self, memory_model, machine, spmspv_trace
+    ):
+        counters = machine.simulate_epoch(
+            spmspv_trace.epochs[0], HardwareConfig()
+        ).counters
+        predicted = memory_model.predict(counters, HardwareConfig())
+        assert predicted.l1_type == memory_model.predict_type(
+            counters, HardwareConfig()
+        )
+
+    def test_wrong_type_models_rejected(self, memory_model):
+        with pytest.raises(ModelError):
+            MemoryModeModel(
+                cache_model=memory_model.spm_model,
+                spm_model=memory_model.spm_model,
+                type_tree=memory_model.type_tree,
+            )
+
+
+class TestMemoryModeController:
+    def test_matches_stock_when_no_switch(
+        self, memory_model, model_ee, machine
+    ):
+        """With the type classifier picking the current type, the
+        controller must behave like the stock one under the same
+        per-type ensemble."""
+        trace = build_trace("spmspv", "P2", scale=0.2)
+        controller = MemoryModeController(
+            memory_model, machine, EE, HybridPolicy(0.4)
+        )
+        schedule = controller.run(trace)
+        if controller.n_type_switches == 0:
+            stock = SparseAdaptController(
+                memory_model.cache_model, machine, EE, HybridPolicy(0.4)
+            ).run(trace)
+            assert schedule.total_energy_j == pytest.approx(
+                stock.total_energy_j, rel=1e-9
+            )
+
+    def test_covers_all_epochs(self, memory_model, machine, spmspv_trace):
+        controller = MemoryModeController(
+            memory_model, machine, EE, HybridPolicy(0.4)
+        )
+        schedule = controller.run(spmspv_trace)
+        assert schedule.n_epochs == spmspv_trace.n_epochs
+
+    def test_switch_tolerance_validated(self, memory_model, machine):
+        with pytest.raises(ConfigError):
+            MemoryModeController(
+                memory_model, machine, EE, switch_tolerance=-1.0
+            )
+
+    def test_spm_initial_config(self, memory_model, machine, spmspv_trace):
+        controller = MemoryModeController(
+            memory_model,
+            machine,
+            EE,
+            HybridPolicy(0.4),
+            initial_config=HardwareConfig(l1_type="spm"),
+        )
+        schedule = controller.run(spmspv_trace)
+        assert schedule.records[0].config.l1_type == "spm"
+
+
+class TestMemoryModePersistence:
+    def test_roundtrip(self, memory_model, tmp_path, machine, spmspv_trace):
+        from repro.core import (
+            load_memory_mode_model,
+            save_memory_mode_model,
+        )
+
+        path = tmp_path / "mm.json"
+        save_memory_mode_model(memory_model, path)
+        loaded = load_memory_mode_model(path)
+        counters = machine.simulate_epoch(
+            spmspv_trace.epochs[0], HardwareConfig()
+        ).counters
+        assert loaded.predict_type(
+            counters, HardwareConfig()
+        ) == memory_model.predict_type(counters, HardwareConfig())
+        assert loaded.predict(
+            counters, HardwareConfig()
+        ) == memory_model.predict(counters, HardwareConfig())
+
+    def test_wrong_kind_rejected(self, model_ee, tmp_path):
+        from repro.core import load_memory_mode_model, save_model
+
+        path = tmp_path / "plain.json"
+        save_model(model_ee, path)
+        with pytest.raises(ModelError):
+            load_memory_mode_model(path)
+
+    def test_type_check_on_save(self, model_ee, tmp_path):
+        from repro.core import save_memory_mode_model
+
+        with pytest.raises(ModelError):
+            save_memory_mode_model(model_ee, tmp_path / "x.json")

@@ -1,0 +1,107 @@
+"""Cross-validation of the analytic cache model against the reference
+line-accurate simulator.
+
+The epoch-level machine model predicts hit rates analytically; these
+tests drive both the analytic model and the reference
+:class:`SetAssociativeCache` with matched scenarios and check that the
+analytic predictions move in the same direction and land in the same
+ballpark as the simulated ground truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.transmuter import SetAssociativeCache, StridePrefetcher
+from repro.transmuter.cache_model import LevelInputs, model_level
+
+
+def simulate_trace(addresses, capacity, prefetch_degree=0):
+    cache = SetAssociativeCache(capacity, line_bytes=64, associativity=4)
+    prefetcher = (
+        StridePrefetcher(prefetch_degree) if prefetch_degree else None
+    )
+    return cache.run_trace(addresses, prefetcher=prefetcher)
+
+
+def analytic_for_trace(addresses, capacity, prefetch=0, stride_fraction=None):
+    addresses = np.asarray(addresses)
+    words = addresses // 8
+    lines = addresses // 64
+    unique_words = np.unique(words).size
+    unique_lines = np.unique(lines).size
+    if stride_fraction is None:
+        deltas = np.abs(np.diff(lines))
+        stride_fraction = float(np.mean(deltas <= 1)) if deltas.size else 1.0
+    return model_level(
+        LevelInputs(
+            accesses=float(addresses.size),
+            unique_words=float(unique_words),
+            unique_lines=float(unique_lines),
+            working_set_bytes=float(unique_lines * 64),
+            capacity_bytes=float(capacity),
+            stride_fraction=stride_fraction,
+            prefetch=prefetch,
+            reuse_locality=stride_fraction,
+        )
+    )
+
+
+def looping_trace(working_set_bytes, passes, step=8):
+    one_pass = list(range(0, working_set_bytes, step))
+    return one_pass * passes
+
+
+class TestFidelity:
+    def test_fitting_working_set_high_hit_rate_in_both(self):
+        trace = looping_trace(4096, passes=6)
+        simulated = simulate_trace(trace, capacity=16 * 1024)
+        analytic = analytic_for_trace(trace, capacity=16 * 1024)
+        assert simulated.hit_rate > 0.85
+        assert analytic.hit_rate > 0.75
+
+    def test_thrashing_working_set_low_reuse_in_both(self):
+        trace = looping_trace(256 * 1024, passes=2)
+        simulated = simulate_trace(trace, capacity=4 * 1024)
+        analytic = analytic_for_trace(trace, capacity=4 * 1024)
+        # LRU on a cyclic over-capacity trace catches only spatial hits
+        # (7 of 8 words per line); both models must agree on that level.
+        assert simulated.hit_rate == pytest.approx(7 / 8, abs=0.05)
+        assert analytic.hit_rate == pytest.approx(
+            simulated.hit_rate, abs=0.15
+        )
+
+    def test_capacity_ordering_matches(self):
+        trace = looping_trace(32 * 1024, passes=4)
+        sim_rates = [
+            simulate_trace(trace, capacity=c).hit_rate
+            for c in (4096, 16 * 1024, 64 * 1024)
+        ]
+        model_rates = [
+            analytic_for_trace(trace, capacity=c).hit_rate
+            for c in (4096, 16 * 1024, 64 * 1024)
+        ]
+        assert sim_rates == sorted(sim_rates)
+        assert model_rates == sorted(model_rates)
+
+    def test_prefetch_gain_direction_matches(self):
+        """Single-pass streaming: prefetching converts compulsory misses
+        to hits in both the simulator and the analytic model."""
+        trace = list(range(0, 128 * 1024, 8))
+        sim_off = simulate_trace(trace, 8 * 1024, prefetch_degree=0)
+        sim_on = simulate_trace(trace, 8 * 1024, prefetch_degree=4)
+        model_off = analytic_for_trace(trace, 8 * 1024, prefetch=0)
+        model_on = analytic_for_trace(trace, 8 * 1024, prefetch=4)
+        assert sim_on.hit_rate > sim_off.hit_rate
+        assert model_on.hit_rate > model_off.hit_rate
+
+    def test_random_trace_hit_rates_close(self):
+        rng = np.random.default_rng(0)
+        # Random word accesses over a 64 kB region into a 16 kB cache.
+        trace = (rng.integers(0, 8192, size=20_000) * 8).tolist()
+        simulated = simulate_trace(trace, capacity=16 * 1024)
+        analytic = analytic_for_trace(
+            trace, capacity=16 * 1024, stride_fraction=0.0
+        )
+        assert analytic.hit_rate == pytest.approx(
+            simulated.hit_rate, abs=0.2
+        )

@@ -1,0 +1,131 @@
+"""Tests for telemetry-noise robustness, energy breakdown aggregation,
+and the element-wise sparse operations."""
+
+import numpy as np
+import pytest
+
+from repro.core import HybridPolicy, OptimizationMode, SparseAdaptController
+from repro.errors import ConfigError, ShapeError
+from repro.sparse import COOMatrix, generators
+from repro.sparse.ops import hadamard, sparse_add
+
+EE = OptimizationMode.ENERGY_EFFICIENT
+
+
+class TestTelemetryNoise:
+    def test_zero_noise_is_exact(self, model_ee, machine, spmspv_trace):
+        clean = SparseAdaptController(
+            model_ee, machine, EE, HybridPolicy(0.4)
+        ).run(spmspv_trace)
+        zero_noise = SparseAdaptController(
+            model_ee, machine, EE, HybridPolicy(0.4), telemetry_noise=0.0
+        ).run(spmspv_trace)
+        assert clean.total_energy_j == pytest.approx(
+            zero_noise.total_energy_j
+        )
+
+    def test_noise_degrades_gracefully(self, model_ee, machine, spmspv_trace):
+        """Strong noise must not crash the controller and must not cost
+        more than a bounded fraction of the clean gains."""
+        clean = SparseAdaptController(
+            model_ee, machine, EE, HybridPolicy(0.4)
+        ).run(spmspv_trace)
+        noisy = SparseAdaptController(
+            model_ee,
+            machine,
+            EE,
+            HybridPolicy(0.4),
+            telemetry_noise=0.3,
+            noise_seed=1,
+        ).run(spmspv_trace)
+        assert noisy.n_epochs == clean.n_epochs
+        assert noisy.gflops_per_watt > 0.5 * clean.gflops_per_watt
+
+    def test_noise_is_seeded(self, model_ee, machine, spmspv_trace):
+        runs = [
+            SparseAdaptController(
+                model_ee,
+                machine,
+                EE,
+                HybridPolicy(0.4),
+                telemetry_noise=0.2,
+                noise_seed=7,
+            ).run(spmspv_trace)
+            for _ in range(2)
+        ]
+        assert runs[0].total_energy_j == pytest.approx(
+            runs[1].total_energy_j
+        )
+
+    def test_negative_noise_rejected(self, model_ee, machine):
+        with pytest.raises(ConfigError):
+            SparseAdaptController(
+                model_ee, machine, EE, telemetry_noise=-0.1
+            )
+
+
+class TestEnergyBreakdown:
+    def test_components_sum_to_total(self, model_ee, machine, spmspv_trace):
+        schedule = SparseAdaptController(
+            model_ee, machine, EE, HybridPolicy(0.4)
+        ).run(spmspv_trace)
+        breakdown = schedule.energy_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(
+            schedule.total_energy_j, rel=1e-9
+        )
+
+    def test_all_components_nonnegative(
+        self, model_ee, machine, spmspv_trace
+    ):
+        schedule = SparseAdaptController(
+            model_ee, machine, EE, HybridPolicy(0.4)
+        ).run(spmspv_trace)
+        for name, value in schedule.energy_breakdown().items():
+            assert value >= 0.0, name
+
+    def test_memory_bound_workload_dominated_by_dram_or_leak(
+        self, model_ee, machine, spmspv_trace
+    ):
+        schedule = SparseAdaptController(
+            model_ee, machine, EE, HybridPolicy(0.4)
+        ).run(spmspv_trace)
+        breakdown = schedule.energy_breakdown()
+        memory_side = breakdown["dram"] + breakdown["leakage"]
+        compute_side = breakdown["core_dynamic"]
+        assert memory_side > compute_side
+
+
+class TestElementwiseOps:
+    def test_sparse_add_matches_dense(self, rng):
+        a = generators.uniform_random(16, 12, 0.3, seed=1)
+        b = generators.uniform_random(16, 12, 0.3, seed=2)
+        result = sparse_add(a, b)
+        assert np.allclose(result.to_dense(), a.to_dense() + b.to_dense())
+
+    def test_hadamard_matches_dense(self):
+        a = generators.uniform_random(16, 12, 0.4, seed=3)
+        b = generators.uniform_random(16, 12, 0.4, seed=4)
+        result = hadamard(a, b)
+        assert np.allclose(result.to_dense(), a.to_dense() * b.to_dense())
+
+    def test_hadamard_is_structural_intersection(self):
+        a = COOMatrix([0], [0], [2.0], (2, 2))
+        b = COOMatrix([1], [1], [3.0], (2, 2))
+        assert hadamard(a, b).nnz == 0
+
+    def test_add_with_cancellation_keeps_stored_zero(self):
+        a = COOMatrix([0], [0], [2.0], (2, 2))
+        b = COOMatrix([0], [0], [-2.0], (2, 2))
+        summed = sparse_add(a, b)
+        # The structural entry survives with value 0 (GraphBLAS keeps
+        # explicit zeros); prune() drops it when wanted.
+        assert summed.nnz == 1
+        assert summed.prune().nnz == 0
+
+    def test_shape_mismatch_rejected(self):
+        a = COOMatrix.empty((2, 2))
+        b = COOMatrix.empty((3, 2))
+        with pytest.raises(ShapeError):
+            sparse_add(a, b)
+        with pytest.raises(ShapeError):
+            hadamard(a, b)

@@ -1,0 +1,181 @@
+"""Unit tests for COO/CSR/CSC containers and the sparse vector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.sparse import COOMatrix, CSCMatrix, CSRMatrix, SparseVector
+
+
+def _dense_fixture():
+    dense = np.zeros((4, 5))
+    dense[0, 1] = 1.5
+    dense[1, 0] = -2.0
+    dense[2, 4] = 3.0
+    dense[3, 2] = 0.5
+    dense[3, 4] = -1.0
+    return dense
+
+
+class TestCOO:
+    def test_from_to_dense_roundtrip(self):
+        dense = _dense_fixture()
+        assert np.array_equal(COOMatrix.from_dense(dense).to_dense(), dense)
+
+    def test_nnz_and_density(self):
+        matrix = COOMatrix.from_dense(_dense_fixture())
+        assert matrix.nnz == 5
+        assert matrix.density == pytest.approx(5 / 20)
+
+    def test_empty(self):
+        matrix = COOMatrix.empty((3, 7))
+        assert matrix.nnz == 0
+        assert matrix.shape == (3, 7)
+        assert np.array_equal(matrix.to_dense(), np.zeros((3, 7)))
+
+    def test_transpose(self):
+        dense = _dense_fixture()
+        matrix = COOMatrix.from_dense(dense)
+        assert np.array_equal(matrix.transpose().to_dense(), dense.T)
+
+    def test_sum_duplicates(self):
+        matrix = COOMatrix(
+            rows=[0, 0, 1], cols=[1, 1, 0], vals=[1.0, 2.0, 5.0], shape=(2, 2)
+        )
+        merged = matrix.sum_duplicates()
+        assert merged.nnz == 2
+        assert merged.to_dense()[0, 1] == pytest.approx(3.0)
+
+    def test_prune(self):
+        matrix = COOMatrix(
+            rows=[0, 1], cols=[0, 1], vals=[1e-12, 2.0], shape=(2, 2)
+        )
+        pruned = matrix.prune(1e-9)
+        assert pruned.nnz == 1
+        assert pruned.to_dense()[1, 1] == pytest.approx(2.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix(rows=[0], cols=[0, 1], vals=[1.0, 2.0], shape=(2, 2))
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix(rows=[5], cols=[0], vals=[1.0], shape=(2, 2))
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            COOMatrix(rows=[], cols=[], vals=[], shape=(-1, 2))
+
+
+class TestCSR:
+    def test_roundtrip_and_rows(self):
+        dense = _dense_fixture()
+        csr = COOMatrix.from_dense(dense).to_csr()
+        assert np.array_equal(csr.to_dense(), dense)
+        cols, vals = csr.row(3)
+        assert list(cols) == [2, 4]
+        assert list(vals) == [0.5, -1.0]
+
+    def test_row_nnz_and_lengths(self):
+        csr = COOMatrix.from_dense(_dense_fixture()).to_csr()
+        assert csr.row_nnz(0) == 1
+        assert list(csr.row_lengths()) == [1, 1, 1, 2]
+
+    def test_iter_rows_skips_empty(self):
+        dense = np.zeros((3, 3))
+        dense[1, 1] = 1.0
+        csr = COOMatrix.from_dense(dense).to_csr()
+        rows = list(csr.iter_rows())
+        assert len(rows) == 1
+        assert rows[0][0] == 1
+
+    def test_matvec_matches_dense(self):
+        dense = _dense_fixture()
+        csr = COOMatrix.from_dense(dense).to_csr()
+        x = np.arange(5, dtype=float)
+        assert np.allclose(csr.matvec(x), dense @ x)
+
+    def test_matvec_shape_check(self):
+        csr = COOMatrix.from_dense(_dense_fixture()).to_csr()
+        with pytest.raises(ShapeError):
+            csr.matvec(np.zeros(3))
+
+    def test_transpose(self):
+        dense = _dense_fixture()
+        csr = COOMatrix.from_dense(dense).to_csr()
+        assert np.array_equal(csr.transpose().to_dense(), dense.T)
+
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(
+                indptr=[0, 2, 1], indices=[0, 1], data=[1.0, 2.0], shape=(2, 2)
+            )
+
+    def test_row_out_of_range(self):
+        csr = COOMatrix.from_dense(_dense_fixture()).to_csr()
+        with pytest.raises(ShapeError):
+            csr.row(99)
+
+
+class TestCSC:
+    def test_roundtrip_and_cols(self):
+        dense = _dense_fixture()
+        csc = COOMatrix.from_dense(dense).to_csc()
+        assert np.array_equal(csc.to_dense(), dense)
+        rows, vals = csc.col(4)
+        assert list(rows) == [2, 3]
+        assert list(vals) == [3.0, -1.0]
+
+    def test_col_lengths(self):
+        csc = COOMatrix.from_dense(_dense_fixture()).to_csc()
+        assert list(csc.col_lengths()) == [1, 1, 1, 0, 2]
+
+    def test_csr_csc_conversion_consistency(self):
+        dense = _dense_fixture()
+        csc = COOMatrix.from_dense(dense).to_csc()
+        assert np.array_equal(csc.to_csr().to_dense(), dense)
+
+    def test_bad_indptr_length(self):
+        with pytest.raises(FormatError):
+            CSCMatrix(indptr=[0, 1], indices=[0], data=[1.0], shape=(2, 2))
+
+
+class TestSparseVector:
+    def test_from_to_dense_roundtrip(self):
+        dense = np.array([0.0, 1.0, 0.0, -2.0])
+        vec = SparseVector.from_dense(dense)
+        assert vec.nnz == 2
+        assert np.array_equal(vec.to_dense(), dense)
+
+    def test_item(self):
+        vec = SparseVector.from_dense(np.array([0.0, 7.0, 0.0]))
+        assert vec.item(1) == 7.0
+        assert vec.item(0) == 0.0
+
+    def test_dot_matches_dense(self, rng):
+        a = rng.random(32) * (rng.random(32) > 0.5)
+        b = rng.random(32) * (rng.random(32) > 0.5)
+        va, vb = SparseVector.from_dense(a), SparseVector.from_dense(b)
+        assert va.dot(vb) == pytest.approx(float(a @ b))
+
+    def test_dot_length_mismatch(self):
+        a = SparseVector.empty(4)
+        b = SparseVector.empty(5)
+        with pytest.raises(ShapeError):
+            a.dot(b)
+
+    def test_unsorted_input_is_sorted(self):
+        vec = SparseVector([3, 1], [1.0, 2.0], 5)
+        assert list(vec.indices) == [1, 3]
+        assert list(vec.values) == [2.0, 1.0]
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(FormatError):
+            SparseVector([1, 1], [1.0, 2.0], 4)
+
+    def test_prune(self):
+        vec = SparseVector([0, 1], [1e-12, 3.0], 2)
+        assert vec.prune(1e-9).nnz == 1
+
+    def test_density_empty_length(self):
+        assert SparseVector.empty(0).density == 0.0

@@ -1,0 +1,125 @@
+"""Unit tests for the sparse-matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import generators
+
+
+class TestUniformRandom:
+    def test_density_is_exact(self):
+        matrix = generators.uniform_random(50, 40, 0.1, seed=0)
+        assert matrix.nnz == round(0.1 * 50 * 40)
+
+    def test_no_duplicates(self):
+        matrix = generators.uniform_random(30, 30, 0.3, seed=1)
+        keys = matrix.rows * 30 + matrix.cols
+        assert np.unique(keys).size == matrix.nnz
+
+    def test_deterministic_per_seed(self):
+        a = generators.uniform_random(20, 20, 0.2, seed=7)
+        b = generators.uniform_random(20, 20, 0.2, seed=7)
+        assert np.array_equal(a.rows, b.rows)
+        assert np.array_equal(a.vals, b.vals)
+
+    def test_bad_density_rejected(self):
+        with pytest.raises(ShapeError):
+            generators.uniform_random(4, 4, 1.5)
+
+
+class TestRmat:
+    def test_delivers_requested_nnz(self):
+        matrix = generators.rmat(128, 800, seed=2)
+        assert matrix.nnz == 800
+
+    def test_power_law_skew(self):
+        """The paper's A=C=0.1, B=0.4 parameters concentrate edges along
+        the column dimension (P(col bit) = B + D = 0.8 per level): the
+        busiest 10% of columns should hold far more than the uniform
+        share."""
+        n, nnz = 256, 4000
+        matrix = generators.rmat(n, nnz, seed=3)
+        col_counts = np.bincount(matrix.cols, minlength=n)
+        top_share = np.sort(col_counts)[-n // 10 :].sum() / nnz
+        assert top_share > 0.3  # uniform would give ~0.10
+
+    def test_in_bounds_for_non_power_of_two(self):
+        matrix = generators.rmat(100, 500, seed=4)
+        assert matrix.rows.max() < 100
+        assert matrix.cols.max() < 100
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(ShapeError):
+            generators.rmat(64, 100, a=0.9, b=0.9, c=0.9)
+
+
+class TestStripMatrix:
+    def test_overall_density_near_target(self):
+        matrix = generators.strip_matrix(n=128, density=0.2, seed=5)
+        assert matrix.density == pytest.approx(0.2, rel=0.15)
+
+    def test_dense_separator_columns_exist(self):
+        matrix = generators.strip_matrix(n=128, density=0.2, seed=5)
+        col_counts = np.bincount(matrix.cols, minlength=128)
+        # The separator columns are ~95% dense, the strips much sparser.
+        assert col_counts.max() > 0.8 * 128
+        assert np.median(col_counts) < 0.5 * 128
+
+    def test_bad_strip_count(self):
+        with pytest.raises(ShapeError):
+            generators.strip_matrix(n=16, n_strips=0)
+
+
+class TestBanded:
+    def test_entries_within_band(self):
+        bandwidth = 5
+        matrix = generators.banded(64, bandwidth, seed=6)
+        assert np.all(np.abs(matrix.rows - matrix.cols) <= bandwidth)
+
+    def test_every_row_nonempty(self):
+        matrix = generators.banded(32, 3, seed=7)
+        assert np.unique(matrix.rows).size == 32
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ShapeError):
+            generators.banded(16, -1)
+
+
+class TestDiagonalLocal:
+    def test_nnz_and_locality(self):
+        n, nnz = 512, 3000
+        matrix = generators.diagonal_local(n, nnz, spread=0.01, seed=8)
+        assert matrix.nnz == nnz
+        offsets = np.abs(matrix.rows - matrix.cols)
+        assert np.median(offsets) < 0.05 * n
+
+
+class TestBlockArrow:
+    def test_nnz_close_to_request(self):
+        matrix = generators.block_arrow(256, 2000, seed=9)
+        assert matrix.nnz == pytest.approx(2000, rel=0.05)
+
+    def test_has_border_and_block_structure(self):
+        n = 256
+        matrix = generators.block_arrow(n, 3000, n_blocks=8, seed=10)
+        border = n // 50
+        in_border = (matrix.rows >= n - border) | (matrix.cols >= n - border)
+        block = n // 8
+        same_block = (matrix.rows // block) == (matrix.cols // block)
+        assert in_border.sum() > 0.1 * matrix.nnz
+        assert (same_block | in_border).mean() > 0.9
+
+    def test_bad_block_count(self):
+        with pytest.raises(ShapeError):
+            generators.block_arrow(64, 100, n_blocks=0)
+
+
+class TestRandomVector:
+    def test_density(self):
+        vec = generators.random_vector(1000, 0.5, seed=11)
+        assert vec.nnz == 500
+
+    def test_sorted_unique_indices(self):
+        vec = generators.random_vector(200, 0.3, seed=12)
+        assert np.all(np.diff(vec.indices) > 0)

@@ -1,0 +1,102 @@
+"""Hypothesis property tests for the sparse substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sparse import COOMatrix, generators, ops
+from repro.sparse.vector import SparseVector
+
+
+def dense_matrices(max_dim: int = 12):
+    shapes = st.tuples(
+        st.integers(1, max_dim), st.integers(1, max_dim)
+    )
+    return shapes.flatmap(
+        lambda shape: arrays(
+            dtype=np.float64,
+            shape=shape,
+            elements=st.sampled_from([0.0, 0.0, 0.0, 1.0, -2.5, 3.75]),
+        )
+    )
+
+
+@given(dense_matrices())
+@settings(max_examples=60, deadline=None)
+def test_coo_roundtrip_is_identity(dense):
+    assert np.array_equal(COOMatrix.from_dense(dense).to_dense(), dense)
+
+
+@given(dense_matrices())
+@settings(max_examples=60, deadline=None)
+def test_format_conversions_agree(dense):
+    coo = COOMatrix.from_dense(dense)
+    assert np.array_equal(coo.to_csr().to_dense(), dense)
+    assert np.array_equal(coo.to_csc().to_dense(), dense)
+    assert np.array_equal(coo.to_csr().to_csc().to_dense(), dense)
+
+
+@given(dense_matrices())
+@settings(max_examples=60, deadline=None)
+def test_double_transpose_is_identity(dense):
+    coo = COOMatrix.from_dense(dense)
+    assert np.array_equal(
+        coo.transpose().transpose().to_dense(), dense
+    )
+
+
+@given(dense_matrices(max_dim=8), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_spmspm_matches_dense(dense, seed):
+    rng = np.random.default_rng(seed)
+    other = rng.integers(-2, 3, size=(dense.shape[1], 5)).astype(float)
+    a = COOMatrix.from_dense(dense).to_csc()
+    b = COOMatrix.from_dense(other).to_csr()
+    product = ops.spmspm_reference(a, b)
+    assert np.allclose(product.to_dense(), dense @ other)
+
+
+@given(dense_matrices(max_dim=10), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_spmspv_matches_dense(dense, seed):
+    rng = np.random.default_rng(seed)
+    x_dense = rng.integers(-2, 3, size=dense.shape[1]).astype(float)
+    x = SparseVector.from_dense(x_dense)
+    result = ops.spmspv_reference(COOMatrix.from_dense(dense).to_csc(), x)
+    assert np.allclose(result.to_dense(), dense @ x_dense)
+
+
+@given(
+    st.integers(4, 64),
+    st.floats(0.01, 0.9),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_uniform_random_density_invariant(n, density, seed):
+    matrix = generators.uniform_random(n, n, density, seed=seed)
+    assert matrix.nnz == round(density * n * n)
+    if matrix.nnz:
+        assert matrix.rows.max() < n
+        assert matrix.cols.max() < n
+
+
+@given(st.integers(8, 128), st.integers(1, 400), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_rmat_within_bounds_and_unique(n, nnz, seed):
+    matrix = generators.rmat(n, nnz, seed=seed)
+    assert matrix.nnz <= min(nnz, n * n)
+    keys = matrix.rows * n + matrix.cols
+    assert np.unique(keys).size == matrix.nnz
+
+
+@given(dense_matrices(max_dim=8))
+@settings(max_examples=40, deadline=None)
+def test_partials_bound_output(dense):
+    a = COOMatrix.from_dense(dense)
+    a_csc = a.to_csc()
+    b_csr = a.transpose().to_csr()
+    product = ops.spmspm_reference(a_csc, b_csr)
+    per_row = ops.partials_per_row(a_csc, b_csr)
+    assert per_row.sum() == ops.total_partial_products(a_csc, b_csr)
+    assert per_row.sum() >= product.nnz

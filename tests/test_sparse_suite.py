@@ -1,0 +1,67 @@
+"""Unit tests for the Table-5 evaluation suite."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import suite
+
+
+class TestSuiteCatalog:
+    def test_all_ids_present(self):
+        assert set(suite.SYNTHETIC_IDS) <= set(suite.SUITE)
+        assert set(suite.SPMSPM_IDS) <= set(suite.SUITE)
+        assert set(suite.SPMSPV_IDS) <= set(suite.SUITE)
+        assert len(suite.SUITE) == 22  # 6 synthetic + 16 real stand-ins
+
+    def test_published_sizes_recorded(self):
+        spec = suite.SUITE["R16"]
+        assert spec.name == "wiki-Vote_11"
+        assert spec.dimension == 8_297
+        assert spec.nnz == 103_689
+
+    def test_spmspm_and_spmspv_sets_disjoint(self):
+        assert not set(suite.SPMSPM_IDS) & set(suite.SPMSPV_IDS)
+
+
+class TestLoad:
+    def test_full_scale_matches_spec(self):
+        matrix = suite.load("R02")
+        spec = suite.SUITE["R02"]
+        assert matrix.shape == (spec.dimension, spec.dimension)
+        assert matrix.nnz == pytest.approx(spec.nnz, rel=0.15)
+
+    def test_scaling_preserves_row_density(self):
+        full = suite.load("R04")
+        half = suite.load("R04", scale=0.5)
+        full_per_row = full.nnz / full.shape[0]
+        half_per_row = half.nnz / half.shape[0]
+        assert half_per_row == pytest.approx(full_per_row, rel=0.25)
+
+    def test_deterministic(self):
+        a = suite.load("P1", scale=0.2)
+        b = suite.load("P1", scale=0.2)
+        assert np.array_equal(a.rows, b.rows)
+        assert np.array_equal(a.vals, b.vals)
+
+    def test_symmetric_standins_are_symmetric(self):
+        matrix = suite.load("R10", scale=0.1)
+        dense = matrix.to_dense()
+        assert np.allclose(dense != 0, (dense != 0).T)
+
+    def test_structural_classes_differ(self):
+        """Power-law stand-ins must be skewed; diagonal-local must not."""
+        rmat = suite.load("R07", scale=0.3)
+        local = suite.load("R09", scale=0.3)
+        rmat_counts = np.bincount(rmat.cols, minlength=rmat.shape[1])
+        local_offsets = np.abs(local.rows - local.cols)
+        assert rmat_counts.max() >= 10 * max(1, np.median(rmat_counts))
+        assert np.median(local_offsets) < 0.05 * local.shape[0]
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ShapeError):
+            suite.load("R99")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ShapeError):
+            suite.load("U1", scale=0.0)

@@ -1,0 +1,134 @@
+"""Unit tests for the reference cache simulator and stride prefetcher."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.transmuter import SetAssociativeCache, StridePrefetcher
+
+
+def make_cache(capacity=1024, line=64, ways=4):
+    return SetAssociativeCache(capacity, line, ways)
+
+
+class TestCacheBasics:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.access(32) is True  # same 64-byte line
+
+    def test_distinct_lines_miss(self):
+        cache = make_cache()
+        cache.access(0)
+        assert cache.access(64) is False
+
+    def test_stats_accumulate(self):
+        cache = make_cache()
+        for address in (0, 0, 64, 64, 128):
+            cache.access(address)
+        assert cache.stats.accesses == 5
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 3
+        assert cache.stats.hit_rate == pytest.approx(0.4)
+
+    def test_lru_eviction_order(self):
+        # 4 ways, 4 sets; addresses mapping to set 0 are multiples of
+        # 4 * 64 = 256.
+        cache = make_cache(capacity=1024, line=64, ways=4)
+        lines = [0, 256, 512, 768]
+        for address in lines:
+            cache.access(address)
+        cache.access(0)  # refresh line 0 -> LRU victim is 256
+        cache.access(1024)  # fills the set, evicting 256
+        assert cache.contains(0)
+        assert not cache.contains(256)
+
+    def test_writeback_counted_on_dirty_eviction(self):
+        cache = make_cache(capacity=256, line=64, ways=1)  # direct mapped
+        cache.access(0, is_write=True)
+        cache.access(256)  # same set, evicts dirty line 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = make_cache(capacity=256, line=64, ways=1)
+        cache.access(0)
+        cache.access(256)
+        assert cache.stats.writebacks == 0
+
+    def test_flush_reports_dirty_lines(self):
+        cache = make_cache()
+        cache.access(0, is_write=True)
+        cache.access(64, is_write=False)
+        assert cache.flush() == 1
+        assert cache.occupancy() == 0.0
+
+    def test_occupancy(self):
+        cache = make_cache(capacity=512, line=64, ways=2)  # 8 lines
+        for i in range(4):
+            cache.access(i * 64)
+        assert cache.occupancy() == pytest.approx(0.5)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(0)
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(100, line_bytes=64, associativity=3)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(SimulationError):
+            make_cache().access(-1)
+
+
+class TestPrefetch:
+    def test_prefetch_installs_line(self):
+        cache = make_cache()
+        cache.prefetch(0)
+        assert cache.contains(0)
+        assert cache.stats.misses == 0  # no demand access counted
+
+    def test_prefetch_hit_attribution(self):
+        cache = make_cache()
+        cache.prefetch(0)
+        cache.access(0)
+        assert cache.stats.prefetch_hits == 1
+
+    def test_prefetch_existing_line_is_noop(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.prefetch(0)
+        assert cache.stats.prefetches_issued == 0
+
+
+class TestStridePrefetcher:
+    def test_detects_constant_stride(self):
+        prefetcher = StridePrefetcher(degree=2, line_bytes=64)
+        assert prefetcher.observe(0) == []
+        assert prefetcher.observe(64) == []  # first stride observation
+        targets = prefetcher.observe(128)  # stride confirmed
+        assert targets == [192, 256]
+
+    def test_degree_zero_disabled(self):
+        prefetcher = StridePrefetcher(degree=0)
+        for address in (0, 64, 128, 192):
+            assert prefetcher.observe(address) == []
+
+    def test_no_prefetch_on_random_stream(self):
+        prefetcher = StridePrefetcher(degree=4, line_bytes=64)
+        issued = []
+        for address in (0, 640, 64, 8192, 320):
+            issued.extend(prefetcher.observe(address))
+        assert issued == []
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ConfigError):
+            StridePrefetcher(degree=-1)
+
+    def test_trace_with_prefetcher_improves_hits(self):
+        """A strided trace must see a better hit rate with prefetch on."""
+        trace = [i * 64 for i in range(64)]
+        plain = make_cache(capacity=2048).run_trace(trace)
+        assisted_cache = make_cache(capacity=2048)
+        assisted = assisted_cache.run_trace(
+            trace, prefetcher=StridePrefetcher(degree=4)
+        )
+        assert assisted.hits > plain.hits

@@ -1,0 +1,143 @@
+"""Unit tests for the hardware configuration space (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.transmuter import (
+    HardwareConfig,
+    full_space,
+    neighbors,
+    runtime_space,
+    sample_configs,
+    space_size,
+)
+from repro.transmuter.config import SPM_FIXED_L1_KB
+
+
+class TestSpace:
+    def test_table1_count_is_3600(self):
+        assert space_size() == 3600
+        assert sum(1 for _ in full_space()) == 3600
+
+    def test_runtime_space_sizes(self):
+        assert len(runtime_space("cache")) == 1800
+        assert len(runtime_space("spm")) == 360
+
+    def test_spm_runtime_space_pins_l1_capacity(self):
+        assert all(
+            cfg.l1_kb == SPM_FIXED_L1_KB for cfg in runtime_space("spm")
+        )
+
+    def test_full_space_unique(self):
+        assert len(set(full_space())) == 3600
+
+    def test_bad_l1_type(self):
+        with pytest.raises(ConfigError):
+            runtime_space("dram")
+
+
+class TestHardwareConfig:
+    def test_defaults_valid(self):
+        cfg = HardwareConfig()
+        assert cfg.l1_type == "cache"
+        assert cfg.clock_mhz == 1000.0
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigError):
+            HardwareConfig(l1_kb=5)
+        with pytest.raises(ConfigError):
+            HardwareConfig(clock_mhz=333.0)
+        with pytest.raises(ConfigError):
+            HardwareConfig(prefetch=2)
+        with pytest.raises(ConfigError):
+            HardwareConfig(l1_sharing="exclusive")
+
+    def test_with_value_returns_new_config(self):
+        cfg = HardwareConfig()
+        changed = cfg.with_value("l2_kb", 64)
+        assert changed.l2_kb == 64
+        assert cfg.l2_kb == 4  # original untouched
+
+    def test_with_value_validates(self):
+        with pytest.raises(ConfigError):
+            HardwareConfig().with_value("l2_kb", 7)
+        with pytest.raises(ConfigError):
+            HardwareConfig().with_value("voltage", 1.0)
+
+    def test_hashable_and_equal(self):
+        assert HardwareConfig() == HardwareConfig()
+        assert len({HardwareConfig(), HardwareConfig()}) == 1
+
+    def test_as_features_encoding(self):
+        cfg = HardwareConfig(
+            l1_sharing="private", l1_kb=16, clock_mhz=125.0, prefetch=8
+        )
+        features = cfg.as_features()
+        names = HardwareConfig.feature_names()
+        assert len(features) == len(names) == 6
+        assert features[names.index("cfg_l1_kb")] == pytest.approx(4.0)
+        assert features[names.index("cfg_clock_mhz")] == pytest.approx(
+            np.log2(125.0)
+        )
+
+    def test_describe_mentions_values(self):
+        text = HardwareConfig(l2_kb=32).describe()
+        assert "L2=32kB" in text
+
+
+class TestNeighbors:
+    def test_interior_point_has_full_neighborhood(self):
+        cfg = HardwareConfig(
+            l1_kb=16, l2_kb=16, clock_mhz=250.0, prefetch=4
+        )
+        # 4 ordinals x 2 directions + 2 categorical flips = 10.
+        assert len(neighbors(cfg)) == 10
+
+    def test_corner_point_has_fewer(self):
+        cfg = HardwareConfig(
+            l1_kb=4, l2_kb=4, clock_mhz=31.25, prefetch=0
+        )
+        # Each ordinal can only move up: 4 + 2 flips = 6.
+        assert len(neighbors(cfg)) == 6
+
+    def test_neighbors_differ_in_one_parameter(self):
+        cfg = HardwareConfig(l1_kb=16, l2_kb=16, clock_mhz=250.0)
+        for other in neighbors(cfg):
+            differences = sum(
+                cfg.get(p) != other.get(p)
+                for p in (
+                    "l1_sharing",
+                    "l2_sharing",
+                    "l1_kb",
+                    "l2_kb",
+                    "clock_mhz",
+                    "prefetch",
+                )
+            )
+            assert differences == 1
+
+    def test_spm_neighbors_skip_l1_capacity(self):
+        cfg = HardwareConfig(
+            l1_type="spm", l1_kb=SPM_FIXED_L1_KB, l2_kb=16, clock_mhz=250.0
+        )
+        assert all(n.l1_kb == SPM_FIXED_L1_KB for n in neighbors(cfg))
+
+
+class TestSampling:
+    def test_sample_is_unique_and_sized(self):
+        sample = sample_configs(100, seed=0)
+        assert len(sample) == 100
+        assert len(set(sample)) == 100
+
+    def test_include_forces_membership(self):
+        forced = HardwareConfig(l1_kb=64, l2_kb=64)
+        sample = sample_configs(10, seed=1, include=[forced])
+        assert forced in sample
+
+    def test_sample_capped_at_space(self):
+        sample = sample_configs(10_000, l1_type="spm", seed=2)
+        assert len(sample) == 360
+
+    def test_deterministic_per_seed(self):
+        assert sample_configs(20, seed=3) == sample_configs(20, seed=3)

@@ -1,0 +1,160 @@
+"""Unit tests for the DVFS and power models."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.transmuter import HardwareConfig, operating_point, params, voltage_for_frequency
+from repro.transmuter.power import PowerModel
+
+
+class TestDVFS:
+    def test_nominal_frequency_gives_nominal_voltage(self):
+        assert voltage_for_frequency(params.F_NOMINAL_MHZ) == pytest.approx(
+            params.VDD_NOMINAL
+        )
+
+    def test_voltage_monotone_in_frequency(self):
+        voltages = [
+            voltage_for_frequency(f)
+            for f in (31.25, 62.5, 125.0, 250.0, 500.0, 1000.0)
+        ]
+        assert voltages == sorted(voltages)
+
+    def test_voltage_clamped_at_1_3_vth(self):
+        lowest = voltage_for_frequency(31.25)
+        assert lowest >= params.V_MIN_RATIO * params.V_THRESHOLD - 1e-12
+
+    def test_voltage_satisfies_alpha_power_law(self):
+        """Above the clamp, f/f_t = [(VDD-Vt)^2/VDD] / [(V-Vt)^2/V]."""
+        f_target = 250.0
+        v = voltage_for_frequency(f_target)
+        lhs = params.F_NOMINAL_MHZ / f_target
+        nominal = (params.VDD_NOMINAL - params.V_THRESHOLD) ** 2 / params.VDD_NOMINAL
+        target = (v - params.V_THRESHOLD) ** 2 / v
+        assert lhs == pytest.approx(nominal / target, rel=1e-9)
+
+    def test_operating_point_scales(self):
+        point = operating_point(125.0)
+        ratio = point.voltage / params.VDD_NOMINAL
+        assert point.dynamic_scale == pytest.approx(ratio * ratio)
+        assert point.leakage_scale == pytest.approx(ratio)
+
+    def test_dynamic_scale_below_one_for_reduced_clock(self):
+        assert operating_point(500.0).dynamic_scale < 1.0
+
+    def test_overclocking_rejected(self):
+        with pytest.raises(ConfigError):
+            voltage_for_frequency(2000.0)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigError):
+            voltage_for_frequency(0.0)
+
+
+class TestPowerModel:
+    def test_geometry_counts(self):
+        power = PowerModel(n_tiles=2, gpes_per_tile=8)
+        assert power.n_gpes == 16
+        assert power.n_cores == 18  # + one LCP per tile
+
+    def test_provisioned_sram(self):
+        power = PowerModel(2, 8)
+        cfg = HardwareConfig(l1_kb=64, l2_kb=32)
+        assert power.provisioned_l1_kb(cfg) == 64 * 16
+        assert power.provisioned_l2_kb(cfg) == 32 * 2
+
+    def test_leakage_grows_with_capacity(self):
+        power = PowerModel(2, 8)
+        point = operating_point(1000.0)
+        small = power.leakage_power(HardwareConfig(l1_kb=4, l2_kb=4), point)
+        large = power.leakage_power(HardwareConfig(l1_kb=64, l2_kb=64), point)
+        assert large > 5 * small
+
+    def test_leakage_scales_with_voltage(self):
+        power = PowerModel(2, 8)
+        cfg = HardwareConfig()
+        high = power.leakage_power(cfg, operating_point(1000.0))
+        low = power.leakage_power(cfg, operating_point(62.5))
+        assert low < high
+
+    def test_spm_leaks_less_than_cache(self):
+        power = PowerModel(2, 8)
+        point = operating_point(1000.0)
+        cache = power.leakage_power(HardwareConfig(l1_type="cache"), point)
+        spm = power.leakage_power(
+            HardwareConfig(l1_type="spm"), point
+        )
+        assert spm < cache
+
+    def test_epoch_energy_components_positive(self):
+        power = PowerModel(2, 8)
+        energy = power.epoch_energy(
+            config=HardwareConfig(),
+            point=operating_point(500.0),
+            elapsed_s=1e-4,
+            core_ops=1e5,
+            l1_accesses=5e4,
+            l2_accesses=1e4,
+            xbar_transfers=5e4,
+            dram_bytes=5e4,
+        )
+        assert energy.total > 0
+        assert energy.on_chip == pytest.approx(energy.total - energy.dram)
+        for component in (
+            energy.core_dynamic,
+            energy.l1_dynamic,
+            energy.l2_dynamic,
+            energy.xbar_dynamic,
+            energy.dram,
+            energy.leakage,
+        ):
+            assert component >= 0
+
+    def test_dvfs_reduces_dynamic_energy(self):
+        power = PowerModel(2, 8)
+        kwargs = dict(
+            config=HardwareConfig(),
+            elapsed_s=1e-4,
+            core_ops=1e5,
+            l1_accesses=5e4,
+            l2_accesses=1e4,
+            xbar_transfers=5e4,
+            dram_bytes=5e4,
+        )
+        fast = power.epoch_energy(point=operating_point(1000.0), **kwargs)
+        slow = power.epoch_energy(point=operating_point(125.0), **kwargs)
+        assert slow.core_dynamic < fast.core_dynamic
+        assert slow.dram == fast.dram  # off-chip energy is not scaled
+
+    def test_larger_bank_costs_more_per_access(self):
+        power = PowerModel(2, 8)
+        kwargs = dict(
+            point=operating_point(1000.0),
+            elapsed_s=1e-4,
+            core_ops=0,
+            l1_accesses=1e5,
+            l2_accesses=0,
+            xbar_transfers=0,
+            dram_bytes=0,
+        )
+        small = power.epoch_energy(config=HardwareConfig(l1_kb=4), **kwargs)
+        large = power.epoch_energy(config=HardwareConfig(l1_kb=64), **kwargs)
+        assert large.l1_dynamic > small.l1_dynamic
+
+    def test_negative_duration_rejected(self):
+        power = PowerModel(2, 8)
+        with pytest.raises(SimulationError):
+            power.epoch_energy(
+                config=HardwareConfig(),
+                point=operating_point(1000.0),
+                elapsed_s=-1.0,
+                core_ops=0,
+                l1_accesses=0,
+                l2_accesses=0,
+                xbar_transfers=0,
+                dram_bytes=0,
+            )
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(SimulationError):
+            PowerModel(0, 8)

@@ -1,0 +1,167 @@
+"""Unit tests for the analytic cache model, crossbar, and memory."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.transmuter import MemorySystem, params
+from repro.transmuter.cache_model import LevelInputs, model_level, residency
+from repro.transmuter.crossbar import model_crossbar
+
+
+def make_inputs(**overrides):
+    base = dict(
+        accesses=10_000.0,
+        unique_words=4_000.0,
+        unique_lines=600.0,
+        working_set_bytes=600.0 * 64,
+        capacity_bytes=16 * 1024.0,
+        stride_fraction=0.7,
+        prefetch=4,
+        sharers=1,
+    )
+    base.update(overrides)
+    return LevelInputs(**base)
+
+
+class TestResidency:
+    def test_fits_entirely(self):
+        assert residency(1024, 65536, 1.0) > 0.9
+
+    def test_monotone_in_capacity(self):
+        values = [
+            residency(65536, c, 0.5) for c in (4096, 8192, 16384, 65536)
+        ]
+        assert values == sorted(values)
+
+    def test_irregular_streams_conflict_more(self):
+        assert residency(8192, 8192, 0.0) < residency(8192, 8192, 1.0)
+
+    def test_sharing_conflict(self):
+        assert residency(8192, 8192, 0.5, sharers=8) < residency(
+            8192, 8192, 0.5, sharers=1
+        )
+
+    def test_pollution_reduces_residency(self):
+        assert residency(8192, 8192, 0.5, pollution=0.3) < residency(
+            8192, 8192, 0.5, pollution=0.0
+        )
+
+    def test_bounds(self):
+        for ws in (10.0, 1e4, 1e8):
+            value = residency(ws, 4096, 0.5)
+            assert 0.0 <= value <= 1.0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            residency(100, 0, 0.5)
+
+
+class TestLevelModel:
+    def test_hit_rate_in_unit_interval(self):
+        behaviour = model_level(make_inputs())
+        assert 0.0 <= behaviour.hit_rate <= 1.0
+        assert behaviour.hits + behaviour.misses == pytest.approx(10_000.0)
+
+    def test_more_capacity_more_hits(self):
+        small = model_level(make_inputs(capacity_bytes=2048.0))
+        large = model_level(make_inputs(capacity_bytes=128 * 1024.0))
+        assert large.hit_rate >= small.hit_rate
+
+    def test_prefetch_covers_strided_misses(self):
+        off = model_level(make_inputs(prefetch=0, stride_fraction=0.9))
+        on = model_level(make_inputs(prefetch=8, stride_fraction=0.9))
+        assert on.hit_rate > off.hit_rate
+        assert on.prefetch_covered_lines > 0
+
+    def test_prefetch_useless_on_irregular_stream(self):
+        on = model_level(make_inputs(prefetch=8, stride_fraction=0.0))
+        assert on.prefetch_covered_lines == pytest.approx(0.0)
+        assert on.overfetch_lines > 0  # pure waste
+
+    def test_reuse_drives_hits(self):
+        streaming = model_level(
+            make_inputs(
+                unique_words=10_000.0,
+                unique_lines=1250.0,
+                working_set_bytes=1250.0 * 64,
+            )
+        )
+        reuse = model_level(
+            make_inputs(
+                unique_words=1_000.0,
+                unique_lines=150.0,
+                working_set_bytes=150.0 * 64,
+            )
+        )
+        assert reuse.hit_rate > streaming.hit_rate
+
+    def test_occupancy_capped_at_one(self):
+        behaviour = model_level(
+            make_inputs(working_set_bytes=1e9, capacity_bytes=4096.0)
+        )
+        assert behaviour.occupancy == 1.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(SimulationError):
+            model_level(make_inputs(accesses=-1.0))
+
+
+class TestCrossbar:
+    def test_private_mode_free(self):
+        behaviour = model_crossbar(1e5, 1e4, 8, 8, shared=False)
+        assert behaviour.contention_ratio == 0.0
+        assert behaviour.extra_latency_cycles == 0.0
+
+    def test_contention_grows_with_load(self):
+        light = model_crossbar(1e3, 1e5, 8, 8, shared=True)
+        heavy = model_crossbar(8e5, 1e5, 8, 8, shared=True)
+        assert heavy.contention_ratio > light.contention_ratio
+
+    def test_contention_ratio_bounded(self):
+        behaviour = model_crossbar(1e9, 1.0, 8, 8, shared=True)
+        assert 0.0 <= behaviour.contention_ratio <= 1.0
+
+    def test_single_requester_never_contends(self):
+        behaviour = model_crossbar(1e5, 1e4, 1, 1, shared=True)
+        assert behaviour.contention_ratio == 0.0
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(SimulationError):
+            model_crossbar(1.0, 1.0, 0, 4, shared=True)
+
+
+class TestMemorySystem:
+    def test_transfer_time_is_bytes_over_bandwidth(self):
+        memory = MemorySystem(bandwidth_gbps=1.0)
+        behaviour = memory.transfer(5e5, 5e5, elapsed_s=1e-3)
+        assert behaviour.transfer_time_s == pytest.approx(1e-3)
+        assert behaviour.read_utilization == pytest.approx(0.5)
+        assert behaviour.write_utilization == pytest.approx(0.5)
+
+    def test_energy_proportional_to_bytes(self):
+        memory = MemorySystem()
+        one = memory.transfer(1e4, 0, 1.0).energy_j
+        two = memory.transfer(2e4, 0, 1.0).energy_j
+        assert two == pytest.approx(2 * one)
+
+    def test_utilization_capped(self):
+        memory = MemorySystem(bandwidth_gbps=1.0)
+        behaviour = memory.transfer(1e12, 0, elapsed_s=1e-6)
+        assert behaviour.read_utilization == 1.0
+
+    def test_latency_cycles_scale_with_clock(self):
+        memory = MemorySystem()
+        assert memory.latency_cycles(1000.0) == pytest.approx(
+            params.DRAM_LATENCY_S * 1e9
+        )
+        assert memory.latency_cycles(125.0) == pytest.approx(
+            memory.latency_cycles(1000.0) / 8
+        )
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(SimulationError):
+            MemorySystem(bandwidth_gbps=0.0)
+
+    def test_negative_traffic_rejected(self):
+        with pytest.raises(SimulationError):
+            MemorySystem().transfer(-1.0, 0.0, 1.0)

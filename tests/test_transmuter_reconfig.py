@@ -1,0 +1,143 @@
+"""Unit tests for the reconfiguration cost model and taxonomy."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.transmuter import HardwareConfig, params
+from repro.transmuter.power import PowerModel
+from repro.transmuter.reconfig import (
+    GRANULARITY_FINE,
+    GRANULARITY_SUPER_FINE,
+    change_granularity,
+    changed_parameters,
+    host_decision_overhead_s,
+    parameter_change_cost,
+    reconfiguration_cost,
+)
+
+
+@pytest.fixture(scope="module")
+def power():
+    return PowerModel(2, 8)
+
+
+BASE = HardwareConfig(l1_kb=16, l2_kb=16, clock_mhz=250.0, prefetch=4)
+
+
+class TestTaxonomy:
+    def test_clock_and_prefetch_are_super_fine(self):
+        faster = BASE.with_value("clock_mhz", 500.0)
+        assert (
+            change_granularity(BASE, faster, "clock_mhz")
+            == GRANULARITY_SUPER_FINE
+        )
+        more = BASE.with_value("prefetch", 8)
+        assert (
+            change_granularity(BASE, more, "prefetch")
+            == GRANULARITY_SUPER_FINE
+        )
+
+    def test_capacity_increase_is_super_fine(self):
+        bigger = BASE.with_value("l1_kb", 64)
+        assert (
+            change_granularity(BASE, bigger, "l1_kb")
+            == GRANULARITY_SUPER_FINE
+        )
+
+    def test_capacity_decrease_is_fine(self):
+        smaller = BASE.with_value("l2_kb", 4)
+        assert change_granularity(BASE, smaller, "l2_kb") == GRANULARITY_FINE
+
+    def test_sharing_change_is_fine(self):
+        flipped = BASE.with_value("l1_sharing", "private")
+        assert (
+            change_granularity(BASE, flipped, "l1_sharing")
+            == GRANULARITY_FINE
+        )
+
+    def test_l1_type_change_rejected_at_runtime(self):
+        spm = HardwareConfig(l1_type="spm", l1_kb=BASE.l1_kb,
+                             l2_kb=BASE.l2_kb, clock_mhz=BASE.clock_mhz,
+                             prefetch=BASE.prefetch)
+        with pytest.raises(ConfigError):
+            changed_parameters(BASE, spm)
+
+
+class TestCosts:
+    def test_no_change_is_free(self, power):
+        cost = reconfiguration_cost(BASE, BASE, power)
+        assert cost.is_free
+        assert cost.time_s == 0.0
+        assert cost.energy_j == 0.0
+
+    def test_super_fine_cost_is_fixed_cycles(self, power):
+        faster = BASE.with_value("clock_mhz", 500.0)
+        cost = reconfiguration_cost(BASE, faster, power)
+        assert cost.time_s == pytest.approx(
+            params.RECONFIG_FIXED_CYCLES / 500e6
+        )
+        assert not cost.flushed_l1
+        assert not cost.flushed_l2
+
+    def test_capacity_growth_cheap(self, power):
+        bigger = BASE.with_value("l1_kb", 64).with_value("l2_kb", 64)
+        cost = reconfiguration_cost(BASE, bigger, power)
+        assert cost.time_s < 1e-5
+        assert not cost.flushed_l1
+
+    def test_l1_shrink_flushes_l1(self, power):
+        smaller = BASE.with_value("l1_kb", 4)
+        cost = reconfiguration_cost(BASE, smaller, power)
+        assert cost.flushed_l1
+        assert not cost.flushed_l2
+        # 16 banks x 16 kB drained at ~1 B/cycle at the nominal clock.
+        expected = 16 * 16 * 1024 / (params.F_NOMINAL_MHZ * 1e6)
+        assert cost.time_s == pytest.approx(expected, rel=0.01)
+
+    def test_l2_shrink_flushes_l2_at_bandwidth(self, power):
+        smaller = BASE.with_value("l2_kb", 4)
+        cost = reconfiguration_cost(BASE, smaller, power, bandwidth_gbps=1.0)
+        assert cost.flushed_l2
+        expected = 2 * 16 * 1024 / 1e9  # provisioned L2 over 1 GB/s
+        assert cost.time_s >= expected
+
+    def test_dirty_hint_bounds_flush(self, power):
+        smaller = BASE.with_value("l1_kb", 4)
+        pessimistic = reconfiguration_cost(BASE, smaller, power)
+        bounded = reconfiguration_cost(
+            BASE, smaller, power, dirty_bytes_hint=1024.0
+        )
+        assert bounded.time_s < pessimistic.time_s
+        assert bounded.energy_j < pessimistic.energy_j
+
+    def test_flush_cost_scales_with_provisioned_size(self, power):
+        big = HardwareConfig(l1_kb=64, l2_kb=16, clock_mhz=250.0)
+        small = HardwareConfig(l1_kb=8, l2_kb=16, clock_mhz=250.0)
+        from_big = reconfiguration_cost(
+            big, big.with_value("l1_kb", 4), power
+        )
+        from_small = reconfiguration_cost(
+            small, small.with_value("l1_kb", 4), power
+        )
+        assert from_big.time_s > from_small.time_s
+
+    def test_parameter_change_cost_isolates_one_knob(self, power):
+        target = BASE.with_value("l1_kb", 4).with_value("clock_mhz", 1000.0)
+        clock_only = parameter_change_cost(BASE, target, "clock_mhz", power)
+        assert not clock_only.flushed_l1
+        capacity_only = parameter_change_cost(BASE, target, "l1_kb", power)
+        assert capacity_only.flushed_l1
+
+    def test_unchanged_parameter_is_free(self, power):
+        cost = parameter_change_cost(BASE, BASE, "l2_kb", power)
+        assert cost.is_free
+
+    def test_changed_parameters_list(self):
+        target = BASE.with_value("prefetch", 0).with_value("l2_kb", 64)
+        assert sorted(changed_parameters(BASE, target)) == [
+            "l2_kb",
+            "prefetch",
+        ]
+
+    def test_host_overhead_small(self):
+        assert 0 < host_decision_overhead_s() < 1e-6
