@@ -39,3 +39,22 @@ def run_once(benchmark, fn, **kwargs):
     return benchmark.pedantic(
         fn, kwargs=kwargs, iterations=1, rounds=1, warmup_rounds=0
     )
+
+
+def best_of(fn, repeats: int = 9) -> float:
+    """Best-of-N wall time of ``fn()``, seconds.
+
+    Micro-benchmark comparisons (e.g. the tracing-disabled overhead
+    guard in ``bench_obs_overhead.py``) take the minimum over several
+    repeats: the minimum estimates the true cost with the least
+    scheduler/allocator noise, which matters when asserting a few
+    percent of difference rather than reporting a throughput.
+    """
+    import time
+
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

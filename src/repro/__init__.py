@@ -23,6 +23,8 @@ Subpackages
     Static configurations, Ideal Greedy, Oracle, and ProfileAdapt.
 ``repro.experiments``
     Harness and drivers that regenerate every table and figure.
+``repro.obs``
+    Observability: structured JSONL traces, metrics registry, reports.
 """
 
 __version__ = "1.0.0"

@@ -10,14 +10,23 @@ Commands
 ``train``
     Train a SparseAdapt model on the Table-3 sweep and save it as JSON.
 ``run``
-    Evaluate control schemes for one kernel/matrix and print the gains.
+    Evaluate control schemes for one kernel/matrix and print the gains
+    (``--json`` for machine-readable output).
 ``experiment``
-    Run one of the paper's figure/table drivers and print its report.
+    Run one of the paper's figure/table drivers and print its report
+    (``--json`` for machine-readable output).
+``trace``
+    Run SparseAdapt over one kernel/matrix with structured tracing
+    enabled and write the trace as JSONL.
+``trace-report``
+    Summarize a recorded trace: epoch timeline, reconfiguration counts
+    by parameter, decision-latency histogram, most expensive epochs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -88,12 +97,70 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include Ideal Static / Ideal Greedy / Oracle",
     )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the gain table",
+    )
 
     experiment = commands.add_parser(
         "experiment", help="run a figure/table driver"
     )
     experiment.add_argument("name", choices=_EXPERIMENTS)
     experiment.add_argument("--scale", type=float, default=None)
+    experiment.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the driver's result dict as JSON",
+    )
+
+    trace = commands.add_parser(
+        "trace", help="record a SparseAdapt run as a JSONL trace"
+    )
+    trace.add_argument(
+        "--kernel",
+        choices=("spmspm", "spmspv", "bfs", "sssp"),
+        default="spmspv",
+    )
+    trace.add_argument("--matrix", default="R03", help="Table-5 id (e.g. R03)")
+    trace.add_argument("--scale", type=float, default=0.3)
+    trace.add_argument("--mode", choices=sorted(_MODES), default="ee")
+    trace.add_argument("--model", help="trained model JSON (default: stock)")
+    trace.add_argument(
+        "--bandwidth", type=float, default=1.0, help="off-chip GB/s"
+    )
+    trace.add_argument(
+        "--noise",
+        type=float,
+        default=0.0,
+        help="telemetry noise sigma (robustness runs)",
+    )
+    trace.add_argument(
+        "--noise-seed",
+        type=int,
+        default=0,
+        help="RNG seed of the telemetry noise stream (recorded in the trace)",
+    )
+    trace.add_argument(
+        "--trace-out", required=True, help="output JSONL trace path"
+    )
+
+    report = commands.add_parser(
+        "trace-report", help="summarize a recorded JSONL trace"
+    )
+    report.add_argument("path", help="trace file written by `repro trace`")
+    report.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="how many most-expensive epochs to list",
+    )
+    report.add_argument(
+        "--timeline-rows",
+        type=int,
+        default=64,
+        help="max epoch-timeline rows before eliding the middle",
+    )
 
     return parser
 
@@ -170,7 +237,8 @@ def _command_run(args) -> int:
     from repro.transmuter import TransmuterModel
 
     trace = build_trace(args.kernel, args.matrix, scale=args.scale)
-    print(f"trace: {trace.name} ({trace.n_epochs} epochs)")
+    if not args.json:
+        print(f"trace: {trace.name} ({trace.n_epochs} epochs)")
     model = load_model(args.model) if args.model else None
     context = EvaluationContext(
         trace=trace,
@@ -188,6 +256,21 @@ def _command_run(args) -> int:
     )
     results = evaluate_schemes(context, schemes)
     gains = gains_over(results)
+    if args.json:
+        payload = {
+            "kernel": args.kernel,
+            "matrix": args.matrix,
+            "scale": args.scale,
+            "mode": _mode(args.mode).value,
+            "bandwidth_gbps": args.bandwidth,
+            "trace": {"name": trace.name, "n_epochs": trace.n_epochs},
+            "schemes": {
+                name: result.as_dict() for name, result in results.items()
+            },
+            "gains_over_baseline": gains,
+        }
+        print(json.dumps(_to_jsonable(payload), indent=2))
+        return 0
     rows = {
         name: {
             "GFLOPS": values["gflops"],
@@ -237,8 +320,94 @@ def _command_experiment(args) -> int:
     ):
         kwargs["scale"] = args.scale
     result = driver(**kwargs)
-    _pretty_print(result)
+    if getattr(args, "json", False):
+        print(json.dumps(_to_jsonable(result), indent=2))
+    else:
+        _pretty_print(result)
     return 0
+
+
+def _command_trace(args) -> int:
+    from repro import obs
+    from repro.core import load_model
+    from repro.core.controller import SparseAdaptController
+    from repro.core.training import train_default_model
+    from repro.experiments.harness import build_trace, default_policy_for
+    from repro.transmuter import TransmuterModel
+
+    trace = build_trace(args.kernel, args.matrix, scale=args.scale)
+    mode = _mode(args.mode)
+    model_kernel = "spmspm" if args.kernel == "spmspm" else "spmspv"
+    model = (
+        load_model(args.model)
+        if args.model
+        else train_default_model(mode, kernel=model_kernel, l1_type="cache")
+    )
+    controller = SparseAdaptController(
+        model=model,
+        machine=TransmuterModel(bandwidth_gbps=args.bandwidth),
+        mode=mode,
+        policy=default_policy_for(model_kernel),
+        telemetry_noise=args.noise,
+        noise_seed=args.noise_seed,
+    )
+    with obs.recording(args.trace_out) as recorder:
+        schedule = controller.run(trace)
+        emitted = recorder.n_emitted
+    print(
+        f"trace: {trace.name} ({trace.n_epochs} epochs) -> "
+        f"{args.trace_out} ({emitted} records)"
+    )
+    for key, value in schedule.summary().items():
+        if isinstance(value, float):
+            print(f"  {key}: {value:.4g}")
+        else:
+            print(f"  {key}: {value}")
+    print(f"inspect with: repro trace-report {args.trace_out}")
+    return 0
+
+
+def _command_trace_report(args) -> int:
+    from repro.obs import report
+
+    try:
+        records = report.load_trace(args.path)
+    except FileNotFoundError:
+        print(f"error: no such trace file: {args.path}", file=sys.stderr)
+        return 1
+    except ValueError as exc:  # malformed JSONL
+        print(
+            f"error: {args.path} is not a JSONL trace: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    summary = report.summarize(records)
+    print(
+        report.render(
+            summary, top=args.top, max_timeline_rows=args.timeline_rows
+        )
+    )
+    return 0
+
+
+def _to_jsonable(value):
+    """Recursively coerce a result structure into JSON-native types."""
+    if isinstance(value, dict):
+        return {str(key): _to_jsonable(nested) for key, nested in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        try:
+            return _to_jsonable(item())
+        except (TypeError, ValueError):
+            pass
+    tolist = getattr(value, "tolist", None)  # numpy arrays
+    if callable(tolist):
+        return _to_jsonable(tolist())
+    return str(value)
 
 
 def _pretty_print(value, indent: int = 0) -> None:
@@ -267,6 +436,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": lambda: _command_train(args),
         "run": lambda: _command_run(args),
         "experiment": lambda: _command_experiment(args),
+        "trace": lambda: _command_trace(args),
+        "trace-report": lambda: _command_trace_report(args),
     }
     try:
         return handlers[args.command]()

@@ -12,16 +12,28 @@ accounted once per epoch.
 counters before inference — a robustness study for real hardware whose
 saturating counters and sampling windows are never exact. The trees
 were trained on clean telemetry, so this measures how gracefully the
-deployed controller degrades.
+deployed controller degrades. The noise stream is fully determined by
+``noise_seed``, which the controller exposes (and records into any
+active trace) so a noisy run can be replayed bit-exactly from its
+trace alone.
+
+When a trace recorder is installed (``repro.obs.recording``), the
+controller emits one ``epoch`` span per executed epoch plus a
+``decision`` event carrying the per-stage host latency and the
+proposed-vs-accepted configuration diff, and a ``reconfig`` event per
+applied transition. With tracing disabled all instrumentation is
+skipped behind a single flag check, so the modeled numbers and the
+runtime cost are identical to an uninstrumented run.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace as dataclass_replace
-from typing import Optional
+from time import perf_counter
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.model import SparseAdaptModel
 from repro.core.modes import OptimizationMode
 from repro.core.policies import HybridPolicy, ReconfigurationPolicy
@@ -29,19 +41,38 @@ from repro.core.schedule import EpochRecord, ScheduleResult
 from repro.errors import ConfigError
 from repro.kernels.base import KernelTrace
 from repro.transmuter import params
-from repro.transmuter.config import HardwareConfig
+from repro.transmuter.config import RUNTIME_PARAMETERS, HardwareConfig
 from repro.transmuter.machine import TransmuterModel
 from repro.transmuter.reconfig import (
     host_decision_overhead_s,
     reconfiguration_cost,
 )
 
-__all__ = ["SparseAdaptController"]
+__all__ = ["SparseAdaptController", "config_dict", "config_diff"]
 
 #: Host power attributed to the decision process, watts. The paper
 #: notes telemetry/streaming happens "in the shadow of the workload"
 #: (Section 3.3); only the incremental decision energy is charged.
 _HOST_DECISION_POWER_W = 0.05
+
+
+def config_dict(config: HardwareConfig) -> Dict[str, object]:
+    """A configuration as a flat, JSON-friendly dict (trace payloads)."""
+    out: Dict[str, object] = {"l1_type": config.l1_type}
+    for name in RUNTIME_PARAMETERS:
+        out[name] = config.get(name)
+    return out
+
+
+def config_diff(
+    old: HardwareConfig, new: HardwareConfig
+) -> Dict[str, List[object]]:
+    """Runtime parameters that differ, as ``{name: [old, new]}``."""
+    return {
+        name: [old.get(name), new.get(name)]
+        for name in RUNTIME_PARAMETERS
+        if old.get(name) != new.get(name)
+    }
 
 
 class SparseAdaptController:
@@ -64,6 +95,7 @@ class SparseAdaptController:
         self.mode = mode
         self.policy = policy or HybridPolicy()
         self.telemetry_noise = telemetry_noise
+        self.noise_seed = noise_seed
         self._noise_rng = np.random.default_rng(noise_seed)
         if initial_config is None:
             initial_config = HardwareConfig(l1_type=model.l1_type)
@@ -85,41 +117,126 @@ class SparseAdaptController:
         pending_reconfig = None
         last_epoch_time = 0.0
         overhead = host_decision_overhead_s()
-        for index, workload in enumerate(trace.epochs):
-            result = self.machine.simulate_epoch(workload, config)
-            schedule.append(
-                EpochRecord(
-                    index=index,
-                    config=config,
-                    result=result,
-                    reconfig=pending_reconfig,
-                )
-            )
-            last_epoch_time = result.time_s
-            dirty_hint = workload.stores * params.WORD_BYTES
-            # Telemetry -> inference -> policy -> reconfiguration.
-            counters = self._observe(result.counters)
-            predicted = self.model.predict(counters, config)
-            applied = self.policy.filter(
-                current=config,
-                predicted=predicted,
-                last_epoch_time_s=last_epoch_time,
-                power=self.machine.power,
+        recorder = obs.get_recorder()
+        traced = recorder.enabled
+        if traced:
+            recorder.event(
+                "controller.start",
+                scheme="sparseadapt",
+                trace=trace.name,
+                n_epochs=trace.n_epochs,
+                mode=self.mode.value,
+                policy=self.policy.name,
+                telemetry_noise=self.telemetry_noise,
+                noise_seed=self.noise_seed,
                 bandwidth_gbps=self.bandwidth_gbps,
-                dirty_bytes_hint=dirty_hint,
+                initial_config=config_dict(config),
             )
-            pending_reconfig = reconfiguration_cost(
-                config,
-                applied,
-                self.machine.power,
-                self.bandwidth_gbps,
-                dirty_bytes_hint=dirty_hint,
+            epoch_counter = obs.metrics.counter(
+                "controller.epochs", "epochs executed under control"
             )
-            if pending_reconfig.is_free:
-                pending_reconfig = None
-            config = applied
-            schedule.overhead_time_s += overhead
-            schedule.overhead_energy_j += overhead * _HOST_DECISION_POWER_W
+            reconfig_counter = obs.metrics.counter(
+                "controller.reconfigs", "applied configuration transitions"
+            )
+            reconfig_by_param = obs.metrics.counter(
+                "controller.reconfigs_by_parameter",
+                "applied parameter changes",
+            )
+            latency_histogram = obs.metrics.histogram(
+                "epoch.decision_latency_s",
+                "host wall time of one telemetry->decision cycle",
+            )
+        for index, workload in enumerate(trace.epochs):
+            with recorder.span(
+                "epoch", epoch=index, phase=workload.phase
+            ) as span:
+                result = self.machine.simulate_epoch(workload, config)
+                schedule.append(
+                    EpochRecord(
+                        index=index,
+                        config=config,
+                        result=result,
+                        reconfig=pending_reconfig,
+                    )
+                )
+                if traced:
+                    span.set(
+                        config=config.describe(),
+                        time_s=result.time_s,
+                        energy_j=result.energy_j,
+                        gflops=result.gflops,
+                        reconfig_time_s=(
+                            pending_reconfig.time_s if pending_reconfig else 0.0
+                        ),
+                    )
+                    epoch_counter.inc()
+                last_epoch_time = result.time_s
+                dirty_hint = workload.stores * params.WORD_BYTES
+                # Telemetry -> inference -> policy -> reconfiguration.
+                if traced:
+                    t0 = perf_counter()
+                counters = self._observe(result.counters)
+                if traced:
+                    t1 = perf_counter()
+                predicted = self.model.predict(counters, config)
+                if traced:
+                    t2 = perf_counter()
+                applied = self.policy.filter(
+                    current=config,
+                    predicted=predicted,
+                    last_epoch_time_s=last_epoch_time,
+                    power=self.machine.power,
+                    bandwidth_gbps=self.bandwidth_gbps,
+                    dirty_bytes_hint=dirty_hint,
+                )
+                if traced:
+                    t3 = perf_counter()
+                pending_reconfig = reconfiguration_cost(
+                    config,
+                    applied,
+                    self.machine.power,
+                    self.bandwidth_gbps,
+                    dirty_bytes_hint=dirty_hint,
+                )
+                if pending_reconfig.is_free:
+                    pending_reconfig = None
+                if traced:
+                    t4 = perf_counter()
+                    latency = t4 - t0
+                    proposed = config_diff(config, predicted)
+                    accepted = config_diff(config, applied)
+                    recorder.event(
+                        "decision",
+                        epoch=index,
+                        latency_s=latency,
+                        counter_read_s=t1 - t0,
+                        inference_s=t2 - t1,
+                        policy_filter_s=t3 - t2,
+                        cost_model_s=t4 - t3,
+                        proposed=proposed,
+                        accepted=accepted,
+                        rejected=sorted(set(proposed) - set(accepted)),
+                    )
+                    latency_histogram.observe(latency)
+                    if pending_reconfig is not None:
+                        recorder.event(
+                            "reconfig",
+                            epoch=index,
+                            applies_to=index + 1,
+                            from_config=config_dict(config),
+                            to_config=config_dict(applied),
+                            changed=list(pending_reconfig.changed),
+                            cost_time_s=pending_reconfig.time_s,
+                            cost_energy_j=pending_reconfig.energy_j,
+                            flushed_l1=pending_reconfig.flushed_l1,
+                            flushed_l2=pending_reconfig.flushed_l2,
+                        )
+                        reconfig_counter.inc()
+                        for parameter in pending_reconfig.changed:
+                            reconfig_by_param.labels(parameter=parameter).inc()
+                config = applied
+                schedule.overhead_time_s += overhead
+                schedule.overhead_energy_j += overhead * _HOST_DECISION_POWER_W
         return schedule
 
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro import obs
 from repro.core.controller import SparseAdaptController
 from repro.core.model import SparseAdaptModel
 from repro.core.modes import OptimizationMode
@@ -101,6 +102,40 @@ class TransmuterRuntime:
         """Run an arbitrary pre-built workload trace under control."""
         return self._controller().run(trace)
 
+    def _offload(self, kernel: str, result, trace: KernelTrace) -> OffloadOutcome:
+        """Drive the controller over a kernel trace, instrumented.
+
+        Each offload is one ``offload`` span (kernel type, trace length,
+        achieved GFLOPS and GFLOPS/W) plus an always-on per-kernel
+        offload counter; the span body is the controlled run itself.
+        """
+        recorder = obs.get_recorder()
+        with recorder.span(
+            "offload", kernel=kernel, trace=trace.name, n_epochs=trace.n_epochs
+        ) as span:
+            schedule = self.run_trace(trace)
+            span.set(
+                gflops=schedule.gflops,
+                gflops_per_watt=schedule.gflops_per_watt,
+                reconfigurations=schedule.n_reconfigurations,
+            )
+        obs.metrics.counter(
+            "runtime.offloads", "kernels offloaded to the modeled device"
+        ).labels(kernel=kernel).inc()
+        if recorder.enabled:
+            recorder.event(
+                "runtime.offload",
+                kernel=kernel,
+                trace=trace.name,
+                n_epochs=trace.n_epochs,
+                gflops=schedule.gflops,
+                gflops_per_watt=schedule.gflops_per_watt,
+                time_s=schedule.total_time_s,
+                energy_j=schedule.total_energy_j,
+                reconfigurations=schedule.n_reconfigurations,
+            )
+        return OffloadOutcome(result, schedule, trace)
+
     # ------------------------------------------------------------------
     # Kernel offload API
     # ------------------------------------------------------------------
@@ -120,7 +155,7 @@ class TransmuterRuntime:
         b_csr = b.to_csr()
         trace = trace_spmspm(a_csc, b_csr, epoch_fp_ops)
         result = spmspm_reference(a_csc, b_csr) if compute_result else None
-        return OffloadOutcome(result, self.run_trace(trace), trace)
+        return self._offload("spmspm", result, trace)
 
     def spmspv(
         self,
@@ -133,14 +168,14 @@ class TransmuterRuntime:
         a_csc = a.to_csc()
         trace = trace_spmspv(a_csc, x, epoch_fp_ops)
         result = spmspv_reference(a_csc, x) if compute_result else None
-        return OffloadOutcome(result, self.run_trace(trace), trace)
+        return self._offload("spmspv", result, trace)
 
     def bfs(self, graph: COOMatrix, source: int = 0) -> OffloadOutcome:
         """Breadth-first search over an adjacency matrix."""
         outcome: BFSResult = bfs(graph.to_csc(), source)
-        return OffloadOutcome(outcome, self.run_trace(outcome.trace), outcome.trace)
+        return self._offload("bfs", outcome, outcome.trace)
 
     def sssp(self, graph: COOMatrix, source: int = 0) -> OffloadOutcome:
         """Single-source shortest paths over a weighted adjacency matrix."""
         outcome: SSSPResult = sssp(graph.to_csc(), source)
-        return OffloadOutcome(outcome, self.run_trace(outcome.trace), outcome.trace)
+        return self._offload("sssp", outcome, outcome.trace)

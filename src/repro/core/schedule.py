@@ -39,6 +39,29 @@ class EpochRecord:
         extra = self.reconfig.energy_j if self.reconfig else 0.0
         return self.result.energy_j + extra
 
+    def as_dict(self) -> dict:
+        """JSON-friendly view of one epoch (trace tooling, ``--json``)."""
+        return {
+            "epoch": self.index,
+            "config": {
+                "l1_type": self.config.l1_type,
+                "l1_sharing": self.config.l1_sharing,
+                "l2_sharing": self.config.l2_sharing,
+                "l1_kb": self.config.l1_kb,
+                "l2_kb": self.config.l2_kb,
+                "clock_mhz": self.config.clock_mhz,
+                "prefetch": self.config.prefetch,
+            },
+            "time_s": self.result.time_s,
+            "energy_j": self.result.energy_j,
+            "gflops": self.result.gflops,
+            "reconfig_time_s": self.reconfig.time_s if self.reconfig else 0.0,
+            "reconfig_energy_j": (
+                self.reconfig.energy_j if self.reconfig else 0.0
+            ),
+            "changed": list(self.reconfig.changed) if self.reconfig else [],
+        }
+
 
 @dataclass
 class ScheduleResult:
@@ -147,3 +170,17 @@ class ScheduleResult:
             "gflops": self.gflops,
             "gflops_per_watt": self.gflops_per_watt,
         }
+
+    def as_dict(self, include_epochs: bool = False) -> dict:
+        """Machine-readable export (``repro run --json``, trace tooling).
+
+        The scalar totals always appear; ``include_epochs`` adds the
+        full per-epoch timeline via :meth:`EpochRecord.as_dict`.
+        """
+        out = self.summary()
+        out["overhead_time_s"] = self.overhead_time_s
+        out["overhead_energy_j"] = self.overhead_energy_j
+        out["energy_breakdown_j"] = self.energy_breakdown()
+        if include_epochs:
+            out["records"] = [record.as_dict() for record in self.records]
+        return out

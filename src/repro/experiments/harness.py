@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.baselines import (
     BASELINE,
     BEST_AVG_CACHE,
@@ -102,6 +103,27 @@ def build_trace(
     key = (kernel, matrix_id, scale, epoch_fp_ops, vector_density, seed)
     if use_cache and key in _TRACE_CACHE:
         return _TRACE_CACHE[key]
+    recorder = obs.get_recorder()
+    with recorder.span(
+        "harness.build_trace", kernel=kernel, matrix=matrix_id, scale=scale
+    ) as span:
+        trace = _build_trace_uncached(
+            kernel, matrix_id, scale, epoch_fp_ops, vector_density, seed
+        )
+        span.set(n_epochs=trace.n_epochs)
+    if use_cache:
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def _build_trace_uncached(
+    kernel: str,
+    matrix_id: str,
+    scale: float,
+    epoch_fp_ops: Optional[float],
+    vector_density: float,
+    seed: int,
+) -> KernelTrace:
     matrix = suite.load(matrix_id, scale=scale)
     if kernel == "spmspm":
         trace = trace_spmspm(
@@ -129,8 +151,6 @@ def build_trace(
         trace = algorithm(csc, source, epoch_fp_ops or SPMSPV_EPOCH_FP_OPS).trace
     else:
         raise ConfigError(f"unknown kernel {kernel!r}")
-    if use_cache:
-        _TRACE_CACHE[key] = trace
     return trace
 
 
@@ -203,13 +223,12 @@ def evaluate_schemes(
             include=list(statics.values()),
         )
 
-    results: Dict[str, ScheduleResult] = {}
-    for name in schemes:
+    def run_scheme(name: str) -> ScheduleResult:
         if name in statics:
-            results[name] = run_static(
+            return run_static(
                 context.machine, context.trace, statics[name], name
             )
-        elif name == "SparseAdapt":
+        if name == "SparseAdapt":
             model = context.model or train_default_model(
                 context.mode,
                 kernel="spmspm" if "spmspm" in context.trace.name else "spmspv",
@@ -224,19 +243,31 @@ def evaluate_schemes(
             )
             result = controller.run(context.trace)
             result.scheme = name
-            results[name] = result
-        elif name == "Ideal Static":
-            results[name] = ideal_static(table, context.mode)
-        elif name == "Ideal Greedy":
-            results[name] = ideal_greedy(table, context.mode)
-        elif name == "Oracle":
-            results[name] = oracle(table, context.mode)
-        elif name == "ProfileAdapt Naive":
-            results[name] = profile_adapt(pa_table, context.mode, "naive")
-        elif name == "ProfileAdapt Ideal":
-            results[name] = profile_adapt(pa_table, context.mode, "ideal")
-        else:
-            raise ConfigError(f"unknown scheme {name!r}")
+            return result
+        if name == "Ideal Static":
+            return ideal_static(table, context.mode)
+        if name == "Ideal Greedy":
+            return ideal_greedy(table, context.mode)
+        if name == "Oracle":
+            return oracle(table, context.mode)
+        if name == "ProfileAdapt Naive":
+            return profile_adapt(pa_table, context.mode, "naive")
+        if name == "ProfileAdapt Ideal":
+            return profile_adapt(pa_table, context.mode, "ideal")
+        raise ConfigError(f"unknown scheme {name!r}")
+
+    recorder = obs.get_recorder()
+    results: Dict[str, ScheduleResult] = {}
+    for name in schemes:
+        with recorder.span(
+            "harness.scheme", scheme=name, trace=context.trace.name
+        ) as span:
+            results[name] = run_scheme(name)
+            span.set(
+                gflops=results[name].gflops,
+                gflops_per_watt=results[name].gflops_per_watt,
+                reconfigurations=results[name].n_reconfigurations,
+            )
     return results
 
 

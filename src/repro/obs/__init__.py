@@ -1,0 +1,62 @@
+"""Observability: structured tracing, metrics, trace reports.
+
+``repro.obs`` sits below every other layer (stdlib-only, imports
+nothing from the rest of the repository except the error types) and
+gives the runtime three capabilities:
+
+* **Tracing** — :func:`recording` installs a :class:`TraceRecorder`
+  whose :meth:`~repro.obs.trace.TraceRecorder.span` /
+  :meth:`~repro.obs.trace.TraceRecorder.event` calls serialize to JSONL
+  through a pluggable sink (ring buffer, file, null). Disabled tracing
+  is a no-op fast path.
+* **Metrics** — :mod:`repro.obs.metrics` holds the process-wide
+  registry of counters/gauges/histograms with labeled children,
+  ``snapshot()`` dict export and Prometheus-style ``render()``.
+* **Reports** — :mod:`repro.obs.report` summarizes a recorded trace
+  (epoch timeline, reconfiguration counts, decision-latency
+  histogram), backing the ``repro trace-report`` CLI command.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.recording("run.jsonl"):
+        runtime.spmspv(matrix, vector)
+
+    print(obs.metrics.render())
+
+See ``docs/observability.md`` for the trace schema and naming rules.
+"""
+
+from repro.obs import metrics, report
+from repro.obs.sinks import (
+    FileSink,
+    MemorySink,
+    NullSink,
+    TraceSink,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.obs.trace import (
+    Span,
+    TraceRecorder,
+    get_recorder,
+    install,
+    recording,
+)
+
+__all__ = [
+    "metrics",
+    "report",
+    "TraceSink",
+    "NullSink",
+    "MemorySink",
+    "FileSink",
+    "read_jsonl",
+    "write_jsonl",
+    "Span",
+    "TraceRecorder",
+    "get_recorder",
+    "install",
+    "recording",
+]

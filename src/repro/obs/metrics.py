@@ -1,0 +1,338 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Metrics complement traces: a trace answers "what happened in this
+run", metrics answer "how much, across the process". Instruments are
+created (or fetched — creation is idempotent) through a registry::
+
+    from repro.obs import metrics
+    metrics.counter("controller.reconfigs").inc()
+    metrics.histogram("epoch.decision_latency_s").observe(dt)
+    metrics.counter("runtime.offloads").labels(kernel="spmspv").inc()
+
+Each instrument owns labeled children: ``labels(**kv)`` returns a
+child keyed by the sorted label pairs, so the same labels always hit
+the same child. ``snapshot()`` exports the whole registry as a plain
+dict (deep-copied, so later increments cannot mutate an exported
+snapshot) and ``render()`` emits Prometheus-style text (dots in metric
+names become underscores, the only transformation applied).
+
+Stdlib-only; a single process-wide :data:`REGISTRY` plus module-level
+shortcuts mirror the usual client-library ergonomics.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "render",
+    "reset",
+]
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets, tuned for host-side decision latencies
+#: (seconds): 1 us .. 1 s in 1-2.5-5 steps, plus the implicit +Inf.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    base * 10.0**exponent
+    for exponent in range(-6, 0)
+    for base in (1.0, 2.5, 5.0)
+) + (1.0,)
+
+
+def _label_key(labels: Dict[str, str]) -> LabelPairs:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_labels(pairs: LabelPairs, extra: str = "") -> str:
+    parts = [f'{name}="{value}"' for name, value in pairs]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class _Instrument:
+    """Shared child-management machinery for all metric kinds."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.label_pairs: LabelPairs = ()
+        self._children: Dict[LabelPairs, "_Instrument"] = {}
+        self._lock = threading.Lock()
+
+    def labels(self, **labels) -> "_Instrument":
+        """The child instrument for one label combination (cached)."""
+        if not labels:
+            return self
+        key = _label_key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = type(self)(self.name, self.help)
+                child.label_pairs = key
+                self._children[key] = child
+            return child
+
+    # ------------------------------------------------------------------
+    def _series(self) -> Iterable["_Instrument"]:
+        """This instrument (if touched) followed by its children."""
+        if self._touched():
+            yield self
+        for key in sorted(self._children):
+            yield self._children[key]
+
+    def _touched(self) -> bool:
+        raise NotImplementedError
+
+    def _value_snapshot(self):
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self.value = 0.0
+        self._hits = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError("counters only go up; use a gauge instead")
+        with self._lock:
+            self.value += amount
+            self._hits += 1
+
+    def _touched(self) -> bool:
+        return self._hits > 0 or not self._children
+
+    def _value_snapshot(self):
+        return self.value
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self.value = 0.0
+        self._hits = 0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+            self._hits += 1
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+            self._hits += 1
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def _touched(self) -> bool:
+        return self._hits > 0 or not self._children
+
+    def _value_snapshot(self):
+        return self.value
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram of observed values."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        super().__init__(name, help)
+        if buckets is None:
+            buckets = DEFAULT_BUCKETS
+        bounds = tuple(sorted(set(buckets)))
+        if not bounds:
+            raise ConfigError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self.count = 0
+        self.sum = 0.0
+
+    def labels(self, **labels) -> "Histogram":
+        child = super().labels(**labels)
+        child.bounds = self.bounds  # children share the parent's bounds
+        if len(child.bucket_counts) != len(self.bounds) + 1:
+            child.bucket_counts = [0] * (len(self.bounds) + 1)
+        return child  # type: ignore[return-value]
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.bucket_counts[bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.sum += value
+
+    # ------------------------------------------------------------------
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
+    def _touched(self) -> bool:
+        return self.count > 0 or not self._children
+
+    def _value_snapshot(self):
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": {
+                ("+Inf" if bound == float("inf") else repr(bound)): n
+                for bound, n in self.cumulative()
+            },
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Instrument] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, kind: str, name: str, help: str, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise ConfigError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, requested {kind}"
+                    )
+                return existing
+            metric = _KINDS[kind](name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create("counter", name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create("gauge", name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> Histogram:
+        return self._get_or_create("histogram", name, help, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict]:
+        """Deep-copied dict export of every registered metric."""
+        out: Dict[str, Dict] = {}
+        with self._lock:
+            metrics = dict(self._metrics)
+        for name in sorted(metrics):
+            metric = metrics[name]
+            series = {}
+            for instrument in metric._series():
+                key = ",".join(f"{k}={v}" for k, v in instrument.label_pairs)
+                series[key] = instrument._value_snapshot()
+            out[name] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "series": series,
+            }
+        return out
+
+    def render(self) -> str:
+        """Prometheus text exposition of the registry."""
+        lines: List[str] = []
+        with self._lock:
+            metrics = dict(self._metrics)
+        for name in sorted(metrics):
+            metric = metrics[name]
+            prom = name.replace(".", "_").replace("-", "_")
+            if metric.help:
+                lines.append(f"# HELP {prom} {metric.help}")
+            lines.append(f"# TYPE {prom} {metric.kind}")
+            for instrument in metric._series():
+                pairs = instrument.label_pairs
+                if isinstance(instrument, Histogram):
+                    for bound, running in instrument.cumulative():
+                        le = "+Inf" if bound == float("inf") else f"{bound:g}"
+                        labels = _format_labels(pairs, f'le="{le}"')
+                        lines.append(f"{prom}_bucket{labels} {running}")
+                    labels = _format_labels(pairs)
+                    lines.append(f"{prom}_sum{labels} {instrument.sum:g}")
+                    lines.append(f"{prom}_count{labels} {instrument.count}")
+                else:
+                    labels = _format_labels(pairs)
+                    lines.append(f"{prom}{labels} {instrument.value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        """Forget every metric (tests and fresh CLI invocations)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-wide registry the instrumentation hooks use.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, help: str = "") -> Counter:
+    return REGISTRY.counter(name, help)
+
+
+def gauge(name: str, help: str = "") -> Gauge:
+    return REGISTRY.gauge(name, help)
+
+
+def histogram(
+    name: str, help: str = "", buckets: Optional[Tuple[float, ...]] = None
+) -> Histogram:
+    return REGISTRY.histogram(name, help, buckets=buckets)
+
+
+def snapshot() -> Dict[str, Dict]:
+    return REGISTRY.snapshot()
+
+
+def render() -> str:
+    return REGISTRY.render()
+
+
+def reset() -> None:
+    REGISTRY.reset()

@@ -1,0 +1,143 @@
+"""Trace sinks: where serialized trace records go.
+
+A sink receives finished record dicts from a
+:class:`~repro.obs.trace.TraceRecorder` and either drops them
+(:class:`NullSink`), keeps the most recent N in memory
+(:class:`MemorySink`, a ring buffer), or streams them to a JSONL file
+(:class:`FileSink`). Sinks own serialization concerns; recorders own
+timing and record assembly.
+
+The module is stdlib-only by design — observability sits below every
+other layer of the repository and must not pull the numeric stack in.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+__all__ = [
+    "TraceSink",
+    "NullSink",
+    "MemorySink",
+    "FileSink",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+
+def _json_default(value):
+    """Fallback encoder for non-JSON-native values.
+
+    Numpy scalars expose ``item()``; everything else degrades to its
+    ``str`` so a trace write never raises mid-run.
+    """
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except Exception:  # pragma: no cover - defensive
+            pass
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    return str(value)
+
+
+def encode_record(record: Dict) -> str:
+    """One trace record as a compact JSON line (no trailing newline)."""
+    return json.dumps(record, default=_json_default, separators=(",", ":"))
+
+
+class TraceSink:
+    """Receives finished trace records."""
+
+    def emit(self, record: Dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources; emitting afterwards is undefined."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+
+class NullSink(TraceSink):
+    """Drops every record; the disabled-tracing terminal."""
+
+    def emit(self, record: Dict) -> None:  # pragma: no cover - never called
+        pass
+
+
+class MemorySink(TraceSink):
+    """Bounded in-memory ring buffer of the most recent records.
+
+    When ``capacity`` is exceeded the oldest records are evicted;
+    ``evicted`` counts how many were lost so reports can flag
+    truncated traces.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("MemorySink capacity must be positive")
+        self.capacity = capacity
+        self.evicted = 0
+        self.emitted = 0
+        self._buffer: deque = deque(maxlen=capacity)
+
+    def emit(self, record: Dict) -> None:
+        if len(self._buffer) == self.capacity:
+            self.evicted += 1
+        self._buffer.append(record)
+        self.emitted += 1
+
+    def records(self) -> List[Dict]:
+        """The retained records, oldest first."""
+        return list(self._buffer)
+
+    def dump(self, path: Union[str, Path]) -> Path:
+        """Write the retained records to a JSONL file."""
+        return write_jsonl(self._buffer, path)
+
+
+class FileSink(TraceSink):
+    """Streams records to a JSONL file, one object per line."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.emitted = 0
+        self._handle = self.path.open("w", encoding="utf-8")
+
+    def emit(self, record: Dict) -> None:
+        self._handle.write(encode_record(record) + "\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+
+def write_jsonl(records: Iterable[Dict], path: Union[str, Path]) -> Path:
+    """Write an iterable of records as JSONL."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(encode_record(record) + "\n")
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict]:
+    """Load a JSONL trace file back into record dicts."""
+    records: List[Dict] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,187 @@
+"""Structured tracing: spans, events, and the process recorder.
+
+A :class:`TraceRecorder` turns instrumentation calls into flat record
+dicts and hands them to a :class:`~repro.obs.sinks.TraceSink`:
+
+* ``recorder.event("reconfig", epoch=3, cost_s=1e-5)`` — a point in
+  time with attributes;
+* ``with recorder.span("epoch", epoch=3) as span: ...`` — a timed
+  region; ``span.set(**attrs)`` attaches attributes discovered while
+  the span is open (the record is emitted at exit).
+
+Record schema (one JSON object per line when file-backed)::
+
+    {"seq": 17, "ts": 0.0123, "type": "span", "name": "epoch",
+     "dur_s": 0.0021, "attrs": {"epoch": 3, ...}}
+
+``seq`` is a monotonically increasing per-recorder sequence number,
+``ts`` the offset in seconds from recorder creation (spans stamp their
+*start*), ``dur_s`` is present on spans only.
+
+The disabled case is a hard fast path: the module-level default
+recorder wraps a :class:`NullSink`, its ``enabled`` flag is ``False``,
+``event()`` returns immediately, and ``span()`` hands back a shared
+no-op span. Instrumented hot loops check ``recorder.enabled`` once and
+skip attribute assembly entirely, so tracing-off adds no measurable
+cost to a run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.obs.sinks import FileSink, MemorySink, NullSink, TraceSink
+
+__all__ = [
+    "Span",
+    "TraceRecorder",
+    "get_recorder",
+    "install",
+    "recording",
+]
+
+
+class _NullSpan:
+    """Shared no-op span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A timed region; emitted to the sink when the ``with`` block exits."""
+
+    __slots__ = ("_recorder", "name", "attrs", "_start")
+
+    def __init__(self, recorder: "TraceRecorder", name: str, attrs: dict) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes while the span is open."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        duration = time.perf_counter() - self._start
+        self._recorder._emit("span", self.name, self.attrs, dur_s=duration)
+        return False
+
+
+class TraceRecorder:
+    """Assembles trace records and forwards them to a sink."""
+
+    def __init__(self, sink: Optional[TraceSink] = None) -> None:
+        self.sink = sink if sink is not None else NullSink()
+        #: Hot-path guard: instrumentation checks this once per region.
+        self.enabled = not isinstance(self.sink, NullSink)
+        self._origin = time.perf_counter()
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs):
+        """A context manager timing one named region."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a point-in-time event."""
+        if not self.enabled:
+            return
+        self._emit("event", name, attrs)
+
+    # ------------------------------------------------------------------
+    def _emit(self, record_type: str, name: str, attrs: dict, dur_s=None) -> None:
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+        record = {
+            "seq": seq,
+            "ts": round(time.perf_counter() - self._origin, 9),
+            "type": record_type,
+            "name": name,
+            "attrs": attrs,
+        }
+        if dur_s is not None:
+            record["dur_s"] = round(dur_s, 9)
+        self.sink.emit(record)
+
+    @property
+    def n_emitted(self) -> int:
+        """Records emitted so far (sequence numbers are 0-based)."""
+        return self._seq
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+#: The always-installed disabled recorder; instrumentation sees this
+#: unless a run is explicitly being traced.
+_NULL_RECORDER = TraceRecorder()
+_current: TraceRecorder = _NULL_RECORDER
+
+
+def get_recorder() -> TraceRecorder:
+    """The process-wide recorder instrumentation should use."""
+    return _current
+
+
+def install(recorder: Optional[TraceRecorder]) -> TraceRecorder:
+    """Swap the process recorder; returns the previous one.
+
+    Passing ``None`` restores the disabled recorder.
+    """
+    global _current
+    previous = _current
+    _current = recorder if recorder is not None else _NULL_RECORDER
+    return previous
+
+
+@contextmanager
+def recording(
+    target: Union[TraceSink, str, Path, None] = None,
+    capacity: int = 65536,
+) -> Iterator[TraceRecorder]:
+    """Trace everything inside the block.
+
+    ``target`` selects the sink: a path records to a JSONL file, an
+    explicit :class:`TraceSink` is used as-is, and ``None`` records to
+    an in-memory ring buffer of ``capacity`` records. The previous
+    recorder is restored (and the sink closed) on exit.
+    """
+    if target is None:
+        sink: TraceSink = MemorySink(capacity)
+    elif isinstance(target, (str, Path)):
+        sink = FileSink(target)
+    else:
+        sink = target
+    recorder = TraceRecorder(sink)
+    previous = install(recorder)
+    try:
+        yield recorder
+    finally:
+        install(previous)
+        recorder.close()

@@ -19,6 +19,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import SimulationError
+from repro.obs import get_recorder
+from repro.obs import metrics as obs_metrics
 from repro.transmuter import params
 from repro.transmuter.cache_model import LevelBehaviour, LevelInputs, model_level
 from repro.transmuter.config import HardwareConfig
@@ -311,6 +313,41 @@ class TransmuterModel:
             elapsed=elapsed,
             memory_io=memory_io,
         )
+        recorder = get_recorder()
+        if recorder.enabled:
+            bandwidth_utilization = (
+                memory_io.read_utilization + memory_io.write_utilization
+            )
+            recorder.event(
+                "machine.epoch",
+                phase=workload.phase,
+                config=config.describe(),
+                time_s=elapsed,
+                core_time_s=core_time,
+                memory_time_s=memory_time,
+                l1_hit_rate=l1.hit_rate,
+                l2_hit_rate=l2.hit_rate,
+                dram_read_utilization=memory_io.read_utilization,
+                dram_write_utilization=memory_io.write_utilization,
+                bandwidth_saturated=bool(
+                    bandwidth_utilization >= params.BANDWIDTH_SATURATION_THRESHOLD
+                ),
+            )
+            obs_metrics.counter(
+                "machine.epochs_simulated", "simulate_epoch invocations"
+            ).inc()
+            obs_metrics.gauge(
+                "machine.l1_hit_rate", "L1 hit rate of the last simulated epoch"
+            ).set(l1.hit_rate)
+            obs_metrics.gauge(
+                "machine.l2_hit_rate", "L2 hit rate of the last simulated epoch"
+            ).set(l2.hit_rate)
+            if bandwidth_utilization >= params.BANDWIDTH_SATURATION_THRESHOLD:
+                obs_metrics.counter(
+                    "machine.bandwidth_saturated_epochs",
+                    "epochs whose DRAM read+write utilization crossed the "
+                    "saturation threshold",
+                ).inc()
         return EpochResult(
             time_s=elapsed,
             energy=energy,

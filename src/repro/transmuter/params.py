@@ -196,3 +196,9 @@ SPM_HOT_ACCESS_BOOST = 1.5
 #: LCP work (scheduling, load balancing) as a fraction of total GPE
 #: instructions, split across tiles.
 LCP_WORK_FRACTION = 0.05
+
+#: Combined DRAM read+write utilization above which an epoch is flagged
+#: as bandwidth-saturated in the observability event stream (the two
+#: directions each normalize to 1.0, so 0.95 means the channel spent
+#: nearly all of the epoch at its provisioned bandwidth).
+BANDWIDTH_SATURATION_THRESHOLD = 0.95

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -104,3 +106,110 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "gemm" in out
         assert "conv" in out
+
+    def test_run_json(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--kernel",
+                    "spmspv",
+                    "--matrix",
+                    "P1",
+                    "--scale",
+                    "0.15",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kernel"] == "spmspv"
+        assert "SparseAdapt" in payload["schemes"]
+        assert "Baseline" in payload["gains_over_baseline"]
+        sparseadapt = payload["schemes"]["SparseAdapt"]
+        assert sparseadapt["gflops"] > 0
+        assert "energy_breakdown_j" in sparseadapt
+
+    def test_experiment_json(self, capsys):
+        assert main(["experiment", "sec7", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "gemm" in payload
+        assert "conv" in payload
+
+
+class TestTraceCommands:
+    def test_trace_requires_out_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_trace_then_report(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--kernel",
+                    "spmspv",
+                    "--matrix",
+                    "P1",
+                    "--scale",
+                    "0.15",
+                    "--trace-out",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert trace_path.exists()
+        assert "records" in out
+        # every line of the trace is standalone JSON
+        lines = trace_path.read_text().splitlines()
+        assert lines
+        for line in lines:
+            json.loads(line)
+
+        assert main(["trace-report", str(trace_path)]) == 0
+        report_out = capsys.readouterr().out
+        assert "epoch timeline" in report_out
+        assert "reconfigurations by parameter" in report_out
+        assert "host decision latency" in report_out
+        assert "noise_seed=0" in report_out
+
+    def test_trace_report_top_flag(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        main(
+            [
+                "trace",
+                "--kernel",
+                "spmspv",
+                "--matrix",
+                "P1",
+                "--scale",
+                "0.15",
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["trace-report", str(trace_path), "--top", "2"]) == 0
+        assert "top-2 most expensive epochs" in capsys.readouterr().out
+
+    def test_tracing_disabled_after_trace_command(self, tmp_path):
+        from repro.obs import get_recorder
+
+        main(
+            [
+                "trace",
+                "--kernel",
+                "spmspv",
+                "--matrix",
+                "P1",
+                "--scale",
+                "0.15",
+                "--trace-out",
+                str(tmp_path / "t.jsonl"),
+            ]
+        )
+        assert get_recorder().enabled is False

@@ -1,0 +1,224 @@
+"""Integration tests: instrumentation hooks through the real runtime."""
+
+import pytest
+
+from repro import obs
+from repro.core import OptimizationMode, TransmuterRuntime
+from repro.obs import report
+from repro.sparse import generators
+
+
+@pytest.fixture(scope="module")
+def runtime():
+    return TransmuterRuntime(mode=OptimizationMode.ENERGY_EFFICIENT)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return generators.rmat(256, 1500, seed=7)
+
+
+@pytest.fixture(scope="module")
+def vector():
+    return generators.random_vector(256, 0.5, seed=3)
+
+
+def _epoch_spans(records):
+    return [
+        r for r in records if r["type"] == "span" and r["name"] == "epoch"
+    ]
+
+
+class TestControllerTracing:
+    def test_one_epoch_span_per_epoch_record(self, runtime, matrix, vector):
+        with obs.recording(None) as recorder:
+            outcome = runtime.spmspv(matrix, vector)
+        spans = _epoch_spans(recorder.sink.records())
+        assert len(spans) == outcome.schedule.n_epochs
+        assert [s["attrs"]["epoch"] for s in spans] == list(
+            range(outcome.schedule.n_epochs)
+        )
+
+    def test_span_configs_match_schedule_transitions(
+        self, runtime, matrix, vector
+    ):
+        with obs.recording(None) as recorder:
+            outcome = runtime.spmspv(matrix, vector)
+        spans = _epoch_spans(recorder.sink.records())
+        assert [s["attrs"]["config"] for s in spans] == [
+            config.describe()
+            for config in outcome.schedule.config_sequence()
+        ]
+
+    def test_reconfig_events_match_applied_transitions(
+        self, runtime, matrix, vector
+    ):
+        with obs.recording(None) as recorder:
+            outcome = runtime.spmspv(matrix, vector)
+        records = recorder.sink.records()
+        reconfigs = [r for r in records if r["name"] == "reconfig"]
+        # Events decided after the final epoch are never paid by a record.
+        paid = [
+            r
+            for r in reconfigs
+            if r["attrs"]["applies_to"] < outcome.schedule.n_epochs
+        ]
+        assert len(paid) == outcome.schedule.n_reconfigurations
+        for event in reconfigs:
+            assert event["attrs"]["changed"]
+            assert event["attrs"]["cost_time_s"] > 0.0
+
+    def test_decision_events_record_diff_and_latency(
+        self, runtime, matrix, vector
+    ):
+        with obs.recording(None) as recorder:
+            outcome = runtime.spmspv(matrix, vector)
+        decisions = [
+            r
+            for r in recorder.sink.records()
+            if r["name"] == "decision"
+        ]
+        assert len(decisions) == outcome.schedule.n_epochs
+        for event in decisions:
+            attrs = event["attrs"]
+            assert attrs["latency_s"] > 0.0
+            # accepted changes are a subset of proposed changes
+            assert set(attrs["accepted"]) <= set(attrs["proposed"])
+            assert set(attrs["rejected"]) == set(attrs["proposed"]) - set(
+                attrs["accepted"]
+            )
+
+    def test_noise_seed_recorded_for_reproducibility(self, matrix, vector):
+        from repro.core.controller import SparseAdaptController
+        from repro.core.training import train_default_model
+        from repro.kernels.spmspv import trace_spmspv
+        from repro.transmuter.machine import TransmuterModel
+
+        model = train_default_model(
+            OptimizationMode.ENERGY_EFFICIENT, kernel="spmspv"
+        )
+        trace = trace_spmspv(matrix.to_csc(), vector, 500)
+
+        def run_traced(seed):
+            controller = SparseAdaptController(
+                model=model,
+                machine=TransmuterModel(),
+                mode=OptimizationMode.ENERGY_EFFICIENT,
+                telemetry_noise=0.05,
+                noise_seed=seed,
+            )
+            with obs.recording(None) as recorder:
+                schedule = controller.run(trace)
+            starts = [
+                r
+                for r in recorder.sink.records()
+                if r["name"] == "controller.start"
+            ]
+            return schedule, starts[0]["attrs"]
+
+        schedule_a, attrs_a = run_traced(1234)
+        assert attrs_a["noise_seed"] == 1234
+        assert attrs_a["telemetry_noise"] == pytest.approx(0.05)
+        # Replaying with the seed recovered from the trace reproduces
+        # the noisy run exactly.
+        schedule_b, _ = run_traced(attrs_a["noise_seed"])
+        assert schedule_a.summary() == schedule_b.summary()
+        assert schedule_a.config_sequence() == schedule_b.config_sequence()
+
+
+class TestObservabilityNeverPerturbs:
+    def test_traced_and_untraced_results_identical(
+        self, runtime, matrix, vector
+    ):
+        with obs.recording(None):
+            traced = runtime.spmspv(matrix, vector)
+        untraced = runtime.spmspv(matrix, vector)
+        assert traced.schedule.summary() == untraced.schedule.summary()
+        assert traced.schedule.total_time_s == untraced.schedule.total_time_s
+        assert (
+            traced.schedule.total_energy_j == untraced.schedule.total_energy_j
+        )
+        assert (
+            traced.schedule.config_sequence()
+            == untraced.schedule.config_sequence()
+        )
+
+
+class TestMachineAndOffloadEvents:
+    def test_machine_epoch_events(self, runtime, matrix, vector):
+        with obs.recording(None) as recorder:
+            outcome = runtime.spmspv(matrix, vector)
+        machine_events = [
+            r
+            for r in recorder.sink.records()
+            if r["name"] == "machine.epoch"
+        ]
+        assert len(machine_events) == outcome.schedule.n_epochs
+        for event in machine_events:
+            attrs = event["attrs"]
+            assert 0.0 <= attrs["l1_hit_rate"] <= 1.0
+            assert 0.0 <= attrs["l2_hit_rate"] <= 1.0
+            assert isinstance(attrs["bandwidth_saturated"], bool)
+
+    def test_offload_span_and_event(self, runtime, matrix, vector):
+        with obs.recording(None) as recorder:
+            outcome = runtime.spmspv(matrix, vector)
+        records = recorder.sink.records()
+        offload_spans = [
+            r
+            for r in records
+            if r["type"] == "span" and r["name"] == "offload"
+        ]
+        assert len(offload_spans) == 1
+        assert offload_spans[0]["attrs"]["kernel"] == "spmspv"
+        assert offload_spans[0]["attrs"]["gflops"] == pytest.approx(
+            outcome.gflops
+        )
+        offload_events = [
+            r for r in records if r["name"] == "runtime.offload"
+        ]
+        assert len(offload_events) == 1
+
+    def test_offload_metrics_counter(self, runtime, matrix, vector):
+        from repro.obs import metrics
+
+        before = (
+            metrics.counter("runtime.offloads").labels(kernel="bfs").value
+        )
+        runtime.bfs(generators.rmat(64, 256, seed=11))
+        after = (
+            metrics.counter("runtime.offloads").labels(kernel="bfs").value
+        )
+        assert after == before + 1
+
+
+class TestTraceReportPipeline:
+    def test_jsonl_report_roundtrip(self, runtime, matrix, vector, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with obs.recording(path):
+            outcome = runtime.spmspv(matrix, vector)
+        records = report.load_trace(path)
+        summary = report.summarize(records)
+        assert len(summary["epochs"]) == outcome.schedule.n_epochs
+        assert len(summary["decision_latencies_s"]) == (
+            outcome.schedule.n_epochs
+        )
+        rendered = report.render(summary)
+        assert "epoch timeline" in rendered
+        assert "reconfigurations by parameter" in rendered
+        assert "host decision latency" in rendered
+        assert "most expensive epochs" in rendered
+
+    def test_harness_spans_present(self, tmp_path):
+        from repro.experiments.harness import build_trace
+
+        with obs.recording(None) as recorder:
+            build_trace("spmspv", "P1", scale=0.1, use_cache=False)
+        spans = [
+            r
+            for r in recorder.sink.records()
+            if r["name"] == "harness.build_trace"
+        ]
+        assert len(spans) == 1
+        assert spans[0]["attrs"]["matrix"] == "P1"
+        assert spans[0]["attrs"]["n_epochs"] >= 1

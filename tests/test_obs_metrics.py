@@ -1,0 +1,171 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        counter = registry.counter("c")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increment(self, registry):
+        with pytest.raises(ConfigError):
+            registry.counter("c").inc(-1.0)
+
+    def test_get_or_create_returns_same_object(self, registry):
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("c")
+        with pytest.raises(ConfigError):
+            registry.gauge("c")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(10.0)
+        gauge.inc(5.0)
+        gauge.dec(2.0)
+        assert gauge.value == 13.0
+
+
+class TestHistogram:
+    def test_count_sum_and_buckets(self, registry):
+        histogram = registry.histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(555.5)
+        cumulative = dict(histogram.cumulative())
+        assert cumulative[1.0] == 1
+        assert cumulative[10.0] == 2
+        assert cumulative[100.0] == 3
+        assert cumulative[float("inf")] == 4
+
+    def test_boundary_value_lands_in_its_bucket(self, registry):
+        # Prometheus buckets are `le` (inclusive upper bounds).
+        histogram = registry.histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(1.0)
+        assert dict(histogram.cumulative())[1.0] == 1
+
+    def test_default_buckets_span_microseconds_to_seconds(self, registry):
+        assert DEFAULT_BUCKETS[0] == pytest.approx(1e-6)
+        assert DEFAULT_BUCKETS[-1] == pytest.approx(1.0)
+        histogram = registry.histogram("h")
+        histogram.observe(3e-6)
+        assert histogram.count == 1
+
+    def test_empty_buckets_rejected(self, registry):
+        with pytest.raises(ConfigError):
+            registry.histogram("h", buckets=())
+
+
+class TestLabels:
+    def test_children_are_cached_and_independent(self, registry):
+        counter = registry.counter("offloads")
+        a = counter.labels(kernel="spmspv")
+        b = counter.labels(kernel="spmspm")
+        assert a is counter.labels(kernel="spmspv")
+        a.inc(3)
+        b.inc(1)
+        assert a.value == 3.0
+        assert b.value == 1.0
+        assert counter.value == 0.0  # parent untouched
+
+    def test_label_order_does_not_matter(self, registry):
+        counter = registry.counter("c")
+        assert counter.labels(a="1", b="2") is counter.labels(b="2", a="1")
+
+    def test_no_labels_returns_self(self, registry):
+        counter = registry.counter("c")
+        assert counter.labels() is counter
+
+    def test_histogram_children_share_bounds(self, registry):
+        histogram = registry.histogram("h", buckets=(1.0, 2.0))
+        child = histogram.labels(kind="x")
+        assert child.bounds == (1.0, 2.0)
+        child.observe(1.5)
+        child2 = histogram.labels(kind="x")
+        assert child2.count == 1  # refetch must not reset counts
+
+
+class TestSnapshot:
+    def test_snapshot_isolated_from_later_updates(self, registry):
+        counter = registry.counter("c")
+        counter.inc(1)
+        snap = registry.snapshot()
+        counter.inc(41)
+        assert snap["c"]["series"][""] == 1.0
+        assert registry.snapshot()["c"]["series"][""] == 42.0
+
+    def test_snapshot_structure(self, registry):
+        registry.counter("offloads", "help text").labels(kernel="bfs").inc()
+        histogram = registry.histogram("lat", buckets=(1.0,))
+        histogram.observe(0.5)
+        snap = registry.snapshot()
+        assert snap["offloads"]["kind"] == "counter"
+        assert snap["offloads"]["help"] == "help text"
+        assert snap["offloads"]["series"]["kernel=bfs"] == 1.0
+        lat = snap["lat"]["series"][""]
+        assert lat["count"] == 1
+        assert lat["buckets"]["+Inf"] == 1
+
+    def test_histogram_snapshot_isolated(self, registry):
+        histogram = registry.histogram("lat", buckets=(1.0,))
+        histogram.observe(0.5)
+        snap = registry.snapshot()
+        histogram.observe(0.5)
+        assert snap["lat"]["series"][""]["count"] == 1
+
+
+class TestRender:
+    def test_prometheus_text_format(self, registry):
+        registry.counter("a.b", "things").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h.lat", buckets=(1.0,)).observe(0.5)
+        text = registry.render()
+        assert "# TYPE a_b counter" in text
+        assert "# HELP a_b things" in text
+        assert "a_b 2" in text
+        assert "g 1.5" in text
+        assert 'h_lat_bucket{le="1"} 1' in text
+        assert 'h_lat_bucket{le="+Inf"} 1' in text
+        assert "h_lat_count 1" in text
+
+    def test_labeled_series_render(self, registry):
+        registry.counter("c").labels(kernel="spmspv").inc()
+        assert 'c{kernel="spmspv"} 1' in registry.render()
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert registry.render() == ""
+
+
+class TestReset:
+    def test_reset_forgets_metrics(self, registry):
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+        assert registry.counter("c").value == 0.0
+
+    def test_module_level_registry_roundtrip(self):
+        from repro.obs import metrics
+
+        metrics.counter("test.only.metric").inc(7)
+        assert metrics.snapshot()["test.only.metric"]["series"][""] == 7.0
+        # Clean up the process-wide registry for other tests.
+        metrics.reset()

@@ -1,0 +1,142 @@
+"""Tests for TraceRecorder, spans, and sinks (repro.obs.trace/sinks)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.sinks import FileSink, MemorySink, NullSink, read_jsonl
+from repro.obs.trace import TraceRecorder, get_recorder, install, recording
+
+
+class TestDisabledFastPath:
+    def test_default_recorder_is_disabled(self):
+        recorder = get_recorder()
+        assert recorder.enabled is False
+        assert isinstance(recorder.sink, NullSink)
+
+    def test_disabled_event_and_span_emit_nothing(self):
+        recorder = TraceRecorder()
+        recorder.event("x", a=1)
+        with recorder.span("y", b=2) as span:
+            span.set(c=3)
+        assert recorder.n_emitted == 0
+
+    def test_disabled_span_is_shared_noop(self):
+        recorder = TraceRecorder()
+        assert recorder.span("a") is recorder.span("b")
+
+
+class TestRecorder:
+    def test_event_record_shape(self):
+        sink = MemorySink()
+        recorder = TraceRecorder(sink)
+        recorder.event("reconfig", epoch=3, cost_s=1e-5)
+        (record,) = sink.records()
+        assert record["type"] == "event"
+        assert record["name"] == "reconfig"
+        assert record["attrs"] == {"epoch": 3, "cost_s": 1e-5}
+        assert record["seq"] == 0
+        assert record["ts"] >= 0.0
+        assert "dur_s" not in record
+
+    def test_span_times_and_collects_attrs(self):
+        sink = MemorySink()
+        recorder = TraceRecorder(sink)
+        with recorder.span("epoch", epoch=0) as span:
+            span.set(config="cfg", time_s=1e-6)
+        (record,) = sink.records()
+        assert record["type"] == "span"
+        assert record["dur_s"] >= 0.0
+        assert record["attrs"]["epoch"] == 0
+        assert record["attrs"]["config"] == "cfg"
+
+    def test_sequence_numbers_monotonic(self):
+        sink = MemorySink()
+        recorder = TraceRecorder(sink)
+        for i in range(5):
+            recorder.event("e", i=i)
+        assert [r["seq"] for r in sink.records()] == list(range(5))
+
+
+class TestMemorySink:
+    def test_ring_buffer_evicts_oldest(self):
+        sink = MemorySink(capacity=4)
+        recorder = TraceRecorder(sink)
+        for i in range(10):
+            recorder.event("e", i=i)
+        kept = sink.records()
+        assert len(kept) == 4
+        assert sink.evicted == 6
+        assert sink.emitted == 10
+        assert [r["attrs"]["i"] for r in kept] == [6, 7, 8, 9]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MemorySink(capacity=0)
+
+    def test_dump_writes_jsonl(self, tmp_path):
+        sink = MemorySink()
+        TraceRecorder(sink).event("e", value=1.5)
+        path = sink.dump(tmp_path / "trace.jsonl")
+        assert read_jsonl(path)[0]["attrs"] == {"value": 1.5}
+
+
+class TestFileSink:
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = FileSink(path)
+        recorder = TraceRecorder(sink)
+        recorder.event("start", noise_seed=7)
+        with recorder.span("epoch", epoch=0) as span:
+            span.set(gflops=1.25)
+        recorder.close()
+        records = read_jsonl(path)
+        assert len(records) == 2
+        assert records[0]["name"] == "start"
+        assert records[0]["attrs"]["noise_seed"] == 7
+        assert records[1]["attrs"]["gflops"] == 1.25
+        # every line is standalone JSON
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_non_jsonable_attrs_degrade_to_strings(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = FileSink(path)
+        TraceRecorder(sink).event("e", what={"a", "b"}, obj=object())
+        sink.close()
+        (record,) = read_jsonl(path)
+        assert record["attrs"]["what"] == ["a", "b"]
+        assert "object" in record["attrs"]["obj"]
+
+
+class TestInstallAndRecording:
+    def test_install_swaps_and_restores(self):
+        recorder = TraceRecorder(MemorySink())
+        previous = install(recorder)
+        try:
+            assert get_recorder() is recorder
+        finally:
+            install(previous)
+        assert get_recorder() is previous
+
+    def test_recording_with_path(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with recording(path) as recorder:
+            assert get_recorder() is recorder
+            recorder.event("e")
+        assert get_recorder().enabled is False
+        assert len(read_jsonl(path)) == 1
+
+    def test_recording_default_is_ring_buffer(self):
+        with recording(None, capacity=2) as recorder:
+            for i in range(5):
+                recorder.event("e", i=i)
+        assert isinstance(recorder.sink, MemorySink)
+        assert len(recorder.sink.records()) == 2
+
+    def test_recording_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.recording(None):
+                raise RuntimeError("boom")
+        assert get_recorder().enabled is False
