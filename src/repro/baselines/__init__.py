@@ -10,7 +10,7 @@ Public API::
 """
 
 from repro.baselines.greedy import ideal_greedy
-from repro.baselines.oracle import oracle
+from repro.baselines.oracle import epoch_cost_proxy, oracle, per_epoch_costs
 from repro.baselines.profileadapt import profile_adapt
 from repro.baselines.static import (
     BASELINE,
@@ -35,6 +35,8 @@ __all__ = [
     "ideal_static",
     "ideal_greedy",
     "oracle",
+    "epoch_cost_proxy",
+    "per_epoch_costs",
     "profile_adapt",
     "EpochTable",
 ]

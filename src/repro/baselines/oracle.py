@@ -29,7 +29,35 @@ from repro.baselines.table import EpochTable
 from repro.core.modes import OptimizationMode
 from repro.core.schedule import EpochRecord, ScheduleResult
 
-__all__ = ["oracle"]
+__all__ = ["oracle", "epoch_cost_proxy", "per_epoch_costs"]
+
+
+def epoch_cost_proxy(mode: OptimizationMode) -> str:
+    """The additive per-epoch cost the oracle DP minimizes in ``mode``.
+
+    Energy-Efficient mode optimizes GFLOPS/W with flops fixed, so the
+    objective decomposes exactly into per-epoch energy. The
+    Power-Performance objective ``T^2 E`` is not additive; per-epoch
+    time is the dominant (squared) term and serves as the regret proxy.
+    """
+    if mode is OptimizationMode.ENERGY_EFFICIENT:
+        return "energy_j"
+    return "time_s"
+
+
+def per_epoch_costs(
+    schedule: ScheduleResult, mode: OptimizationMode
+) -> np.ndarray:
+    """Per-epoch proxy cost of a schedule, transition costs included.
+
+    ``EpochRecord.time_s`` / ``energy_j`` already fold in the
+    reconfiguration paid before the epoch ran, so a scheme that
+    thrashes between configurations is charged for it here.
+    """
+    attr = epoch_cost_proxy(mode)
+    return np.array(
+        [getattr(record, attr) for record in schedule.records]
+    )
 
 
 def _layered_shortest_path(

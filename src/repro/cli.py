@@ -21,6 +21,14 @@ Commands
 ``trace-report``
     Summarize a recorded trace: epoch timeline, reconfiguration counts
     by parameter, decision-latency histogram, most expensive epochs.
+``explain``
+    Print the decision provenance recorded in a trace: the tree path
+    (counter vs threshold at every node), vote margin, and the policy
+    verdict with its cost-vs-budget numbers, per epoch and parameter.
+``diff``
+    Align two recorded traces epoch-by-epoch: first-divergence epoch,
+    per-parameter divergence timeline, counter deltas at divergence,
+    and a whole-run metric regression summary.
 """
 
 from __future__ import annotations
@@ -160,6 +168,45 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="max epoch-timeline rows before eliding the middle",
+    )
+
+    explain = commands.add_parser(
+        "explain",
+        help="explain the recorded reconfiguration decisions of a trace",
+    )
+    explain.add_argument("path", help="trace file written by `repro trace`")
+    explain.add_argument(
+        "--epoch",
+        type=int,
+        default=None,
+        help="explain one epoch (default: every epoch proposing a change)",
+    )
+    explain.add_argument(
+        "--param",
+        default=None,
+        help="restrict to one runtime parameter (e.g. l1_kb)",
+    )
+    explain.add_argument(
+        "--counters",
+        action="store_true",
+        help="also print the counter values the model read",
+    )
+
+    diff = commands.add_parser(
+        "diff", help="compare two recorded traces epoch-by-epoch"
+    )
+    diff.add_argument("path_a", help="reference trace")
+    diff.add_argument("path_b", help="trace to compare against the reference")
+    diff.add_argument(
+        "--timeline-rows",
+        type=int,
+        default=24,
+        help="max divergence-timeline rows before eliding the tail",
+    )
+    diff.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured diff as JSON instead of the report",
     )
 
     return parser
@@ -367,19 +414,36 @@ def _command_trace(args) -> int:
     return 0
 
 
-def _command_trace_report(args) -> int:
+def _load_trace_checked(path: str):
+    """Load + schema-check a trace; ``None`` after a one-line stderr error.
+
+    The single error path every trace-reading verb (``trace-report``,
+    ``explain``, ``diff``) funnels through: missing file, malformed
+    JSONL, and unsupported schema versions all print one line and make
+    the caller exit 1 — never a traceback.
+    """
     from repro.obs import report
 
     try:
-        records = report.load_trace(args.path)
+        records = report.load_trace(path)
+        report.check_schema(records, origin="trace")
     except FileNotFoundError:
-        print(f"error: no such trace file: {args.path}", file=sys.stderr)
-        return 1
-    except ValueError as exc:  # malformed JSONL
-        print(
-            f"error: {args.path} is not a JSONL trace: {exc}",
-            file=sys.stderr,
-        )
+        print(f"error: no such trace file: {path}", file=sys.stderr)
+        return None
+    except IsADirectoryError:
+        print(f"error: {path} is a directory, not a trace", file=sys.stderr)
+        return None
+    except ValueError as exc:  # malformed JSONL or bad schema version
+        print(f"error: {path}: {exc}", file=sys.stderr)
+        return None
+    return records
+
+
+def _command_trace_report(args) -> int:
+    from repro.obs import report
+
+    records = _load_trace_checked(args.path)
+    if records is None:
         return 1
     summary = report.summarize(records)
     print(
@@ -387,6 +451,50 @@ def _command_trace_report(args) -> int:
             summary, top=args.top, max_timeline_rows=args.timeline_rows
         )
     )
+    return 0
+
+
+def _command_explain(args) -> int:
+    from repro.obs.explain import render_explanation
+
+    records = _load_trace_checked(args.path)
+    if records is None:
+        return 1
+    try:
+        print(
+            render_explanation(
+                records,
+                epoch=args.epoch,
+                parameter=args.param,
+                show_counters=args.counters,
+            )
+        )
+    except ValueError as exc:  # no/filtered-out provenance records
+        print(f"error: {args.path}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _command_diff(args) -> int:
+    from repro.obs.diff import diff_traces, render_diff
+
+    records_a = _load_trace_checked(args.path_a)
+    if records_a is None:
+        return 1
+    records_b = _load_trace_checked(args.path_b)
+    if records_b is None:
+        return 1
+    try:
+        diff = diff_traces(
+            records_a, records_b, label_a=args.path_a, label_b=args.path_b
+        )
+    except ValueError as exc:  # no epochs / schema-1 config gaps
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(_to_jsonable(diff), indent=2))
+    else:
+        print(render_diff(diff, max_timeline_rows=args.timeline_rows))
     return 0
 
 
@@ -438,6 +546,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": lambda: _command_experiment(args),
         "trace": lambda: _command_trace(args),
         "trace-report": lambda: _command_trace_report(args),
+        "explain": lambda: _command_explain(args),
+        "diff": lambda: _command_diff(args),
     }
     try:
         return handlers[args.command]()

@@ -41,6 +41,7 @@ from repro.core.policies import (
     AggressivePolicy,
     ConservativePolicy,
     HybridPolicy,
+    PolicyVerdict,
     ReconfigurationPolicy,
     policy_from_name,
 )
@@ -83,6 +84,7 @@ __all__ = [
     "ConservativePolicy",
     "HybridPolicy",
     "policy_from_name",
+    "PolicyVerdict",
     "PhaseSample",
     "TrainingSet",
     "build_training_set",

@@ -20,10 +20,18 @@ trace alone.
 When a trace recorder is installed (``repro.obs.recording``), the
 controller emits one ``epoch`` span per executed epoch plus a
 ``decision`` event carrying the per-stage host latency and the
-proposed-vs-accepted configuration diff, and a ``reconfig`` event per
-applied transition. With tracing disabled all instrumentation is
-skipped behind a single flag check, so the modeled numbers and the
-runtime cost are identical to an uninstrumented run.
+proposed-vs-accepted configuration diff, a ``reconfig`` event per
+applied transition, and one ``provenance`` event per (epoch, runtime
+parameter) carrying the decision-tree path that produced the proposal
+(feature, threshold, direction per node, vote margin), the raw and
+noise-perturbed counter values the model read, and the policy's
+accept/reject verdict with its cost-vs-budget numbers. With tracing
+disabled all instrumentation is skipped behind a single flag check, so
+the modeled numbers and the runtime cost are identical to an
+uninstrumented run: the traced path calls
+``model.predict_with_provenance`` / ``policy.filter_with_verdicts``,
+which share the decision code with the untraced ``predict`` /
+``filter`` calls and therefore cannot change any decision.
 """
 
 from __future__ import annotations
@@ -146,6 +154,10 @@ class SparseAdaptController:
                 "epoch.decision_latency_s",
                 "host wall time of one telemetry->decision cycle",
             )
+            verdict_counter = obs.metrics.counter(
+                "controller.policy_verdicts",
+                "hysteresis policy accept/reject outcomes",
+            )
         for index, workload in enumerate(trace.epochs):
             with recorder.span(
                 "epoch", epoch=index, phase=workload.phase
@@ -162,6 +174,7 @@ class SparseAdaptController:
                 if traced:
                     span.set(
                         config=config.describe(),
+                        config_values=config_dict(config),
                         time_s=result.time_s,
                         energy_j=result.energy_j,
                         gflops=result.gflops,
@@ -178,19 +191,29 @@ class SparseAdaptController:
                 counters = self._observe(result.counters)
                 if traced:
                     t1 = perf_counter()
-                predicted = self.model.predict(counters, config)
-                if traced:
+                    predicted, provenance = self.model.predict_with_provenance(
+                        counters, config
+                    )
                     t2 = perf_counter()
-                applied = self.policy.filter(
-                    current=config,
-                    predicted=predicted,
-                    last_epoch_time_s=last_epoch_time,
-                    power=self.machine.power,
-                    bandwidth_gbps=self.bandwidth_gbps,
-                    dirty_bytes_hint=dirty_hint,
-                )
-                if traced:
+                    applied, verdicts = self.policy.filter_with_verdicts(
+                        current=config,
+                        predicted=predicted,
+                        last_epoch_time_s=last_epoch_time,
+                        power=self.machine.power,
+                        bandwidth_gbps=self.bandwidth_gbps,
+                        dirty_bytes_hint=dirty_hint,
+                    )
                     t3 = perf_counter()
+                else:
+                    predicted = self.model.predict(counters, config)
+                    applied = self.policy.filter(
+                        current=config,
+                        predicted=predicted,
+                        last_epoch_time_s=last_epoch_time,
+                        power=self.machine.power,
+                        bandwidth_gbps=self.bandwidth_gbps,
+                        dirty_bytes_hint=dirty_hint,
+                    )
                 pending_reconfig = reconfiguration_cost(
                     config,
                     applied,
@@ -218,6 +241,40 @@ class SparseAdaptController:
                         rejected=sorted(set(proposed) - set(accepted)),
                     )
                     latency_histogram.observe(latency)
+                    raw_counters = result.counters.as_dict()
+                    observed_counters = (
+                        counters.as_dict()
+                        if self.telemetry_noise > 0.0
+                        else raw_counters
+                    )
+                    verdict_by_param = {v.parameter: v for v in verdicts}
+                    for parameter, record in provenance.items():
+                        verdict = verdict_by_param.get(parameter)
+                        recorder.event(
+                            "provenance",
+                            epoch=index,
+                            parameter=parameter,
+                            current=record["current"],
+                            predicted=record["predicted"],
+                            kind=record["kind"],
+                            margin=record["margin"],
+                            depth=record["depth"],
+                            path=record["path"],
+                            leaf=record["leaf"],
+                            counters_raw=raw_counters,
+                            counters_observed=observed_counters,
+                            verdict=(
+                                verdict.as_dict() if verdict else None
+                            ),
+                        )
+                    for verdict in verdicts:
+                        verdict_counter.labels(
+                            parameter=verdict.parameter,
+                            verdict=(
+                                "accepted" if verdict.accepted else "rejected"
+                            ),
+                            reason=verdict.code,
+                        ).inc()
                     if pending_reconfig is not None:
                         recorder.event(
                             "reconfig",

@@ -80,6 +80,100 @@ class SparseAdaptModel:
             values["l1_kb"] = SPM_FIXED_L1_KB
         return HardwareConfig(l1_type=self.l1_type, **values)
 
+    def predict_with_provenance(
+        self,
+        counters: PerformanceCounters,
+        current: HardwareConfig,
+    ):
+        """Like :meth:`predict`, also returning per-parameter provenance.
+
+        Returns ``(config, provenance)`` where ``provenance`` maps each
+        predicted parameter to a JSON-friendly dict::
+
+            {"parameter": "l1_kb", "current": 16, "predicted": 64,
+             "kind": "tree", "margin": 0.83, "depth": 2,
+             "path": [{"depth": 0, "feature": "l1_miss_rate",
+                       "feature_index": 2, "threshold": 0.24,
+                       "value": 0.31, "direction": "gt"}, ...],
+             "leaf": {...}}
+
+        The prediction is derived from the same leaf the traversal
+        reaches, so the returned configuration is identical to
+        :meth:`predict` on the same inputs — provenance collection can
+        never change a decision. Estimators without ``decision_path``
+        degrade to ``path=None`` and a plain ``predict`` call.
+        """
+        if current.l1_type != self.l1_type:
+            raise ModelError(
+                f"model trained for l1_type={self.l1_type!r}, "
+                f"got {current.l1_type!r}"
+            )
+        row = build_features(counters, current)
+        names = feature_names()
+        values: Dict[str, object] = {}
+        provenance: Dict[str, dict] = {}
+        for name in self.predicted_parameters():
+            tree = self.trees[name]
+            if hasattr(tree, "decision_path"):
+                path = tree.decision_path(row)
+                if "trees" in path:  # forest: ensemble vote
+                    raw_prediction = path["prediction"]
+                    margin = path["margin"]
+                    steps = None
+                    leaf = {"votes": path["votes"]}
+                    kind = "forest"
+                    member_paths = [
+                        self._describe_steps(p["steps"], names)
+                        for p in path["trees"]
+                    ]
+                else:
+                    raw_prediction = path["leaf"]["prediction"]
+                    margin = path["leaf"].get("margin")
+                    steps = self._describe_steps(path["steps"], names)
+                    leaf = dict(path["leaf"])
+                    kind = "tree"
+                    member_paths = None
+            else:  # estimator without path introspection
+                raw_prediction = tree.predict(row.reshape(1, -1))[0]
+                margin = None
+                steps = None
+                leaf = None
+                kind = type(tree).__name__
+                member_paths = None
+            predicted = self._coerce(name, raw_prediction)
+            values[name] = predicted
+            record = {
+                "parameter": name,
+                "current": current.get(name),
+                "predicted": predicted,
+                "kind": kind,
+                "margin": margin,
+                "depth": len(steps) if steps is not None else None,
+                "path": steps,
+                "leaf": leaf,
+            }
+            if member_paths is not None:
+                record["tree_paths"] = member_paths
+            provenance[name] = record
+        if self.l1_type == "spm":
+            values["l1_kb"] = SPM_FIXED_L1_KB
+        return HardwareConfig(l1_type=self.l1_type, **values), provenance
+
+    @staticmethod
+    def _describe_steps(steps, names: List[str]) -> List[dict]:
+        """Path steps with feature indices resolved to telemetry names."""
+        return [
+            {
+                "depth": step["depth"],
+                "feature": names[step["feature"]],
+                "feature_index": step["feature"],
+                "threshold": step["threshold"],
+                "value": step["value"],
+                "direction": step["direction"],
+            }
+            for step in steps
+        ]
+
     @staticmethod
     def _coerce(name: str, value):
         """Cast numpy label types back to the config's native types."""

@@ -13,24 +13,84 @@ worth its reconfiguration cost:
   bursts of expensive reconfiguration in short epochs while allowing
   occasional ones in long epochs. The paper finds 10-40 % tolerances
   best (Figure 11 left) and uses 40 % for SpMSpV.
+
+Every policy can also *explain* itself: :meth:`~ReconfigurationPolicy.
+filter_with_verdicts` runs the exact same per-parameter walk as
+:meth:`~ReconfigurationPolicy.filter` and additionally returns one
+:class:`PolicyVerdict` per proposed change, carrying the accept/reject
+decision, the cost-vs-budget numbers that produced it, a stable
+machine-readable ``code``, and a human-readable ``reason`` sentence.
+The verdict path shares the decision code with the plain path, so an
+explained run can never diverge from an unexplained one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.transmuter.config import HardwareConfig
 from repro.transmuter.power import PowerModel
-from repro.transmuter.reconfig import changed_parameters, parameter_change_cost
+from repro.transmuter.reconfig import (
+    ReconfigCost,
+    changed_parameters,
+    parameter_change_cost,
+)
 
 __all__ = [
+    "PolicyVerdict",
     "ReconfigurationPolicy",
     "AggressivePolicy",
     "ConservativePolicy",
     "HybridPolicy",
     "policy_from_name",
 ]
+
+
+@dataclass(frozen=True)
+class PolicyVerdict:
+    """One accept/reject decision on a single proposed parameter change.
+
+    ``code`` is a stable machine-readable label (metrics, queries);
+    ``reason`` a stable human-readable sentence carrying the cost and
+    budget numbers that produced the decision. ``payback_epochs`` is
+    the reconfiguration time expressed in units of the previous epoch's
+    duration — "this change costs 3.1 epochs to pay for" — and is
+    ``inf`` when the epoch duration is unknown (first epoch).
+    """
+
+    parameter: str
+    proposed: object
+    current: object
+    accepted: bool
+    code: str
+    reason: str
+    cost_time_s: float
+    cost_energy_j: float
+    budget_s: float
+    payback_epochs: float
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view (trace payloads, ``--json`` surfaces)."""
+        return {
+            "parameter": self.parameter,
+            "proposed": self.proposed,
+            "current": self.current,
+            "accepted": self.accepted,
+            "code": self.code,
+            "reason": self.reason,
+            "cost_time_s": self.cost_time_s,
+            "cost_energy_j": self.cost_energy_j,
+            "budget_s": self.budget_s,
+            "payback_epochs": self.payback_epochs,
+        }
+
+
+def _payback_epochs(cost_time_s: float, last_epoch_time_s: float) -> float:
+    if last_epoch_time_s > 0.0:
+        return cost_time_s / last_epoch_time_s
+    return float("inf")
 
 
 class ReconfigurationPolicy:
@@ -50,7 +110,37 @@ class ReconfigurationPolicy:
         """Return the configuration to actually apply."""
         raise NotImplementedError
 
+    def filter_with_verdicts(
+        self,
+        current: HardwareConfig,
+        predicted: HardwareConfig,
+        last_epoch_time_s: float,
+        power: PowerModel,
+        bandwidth_gbps: float,
+        dirty_bytes_hint=None,
+    ) -> Tuple[HardwareConfig, List["PolicyVerdict"]]:
+        """``filter`` plus one :class:`PolicyVerdict` per proposed change.
+
+        The applied configuration is identical to :meth:`filter` on the
+        same inputs: both run the same walk; this one just keeps the
+        decision record instead of dropping it.
+        """
+        raise NotImplementedError
+
     # ------------------------------------------------------------------
+    def _verdict(
+        self,
+        parameter: str,
+        current_value,
+        proposed_value,
+        cost: ReconfigCost,
+        accepted: bool,
+        budget_s: float,
+        last_epoch_time_s: float,
+    ) -> "PolicyVerdict":
+        """Policy-specific verdict record; subclasses supply the prose."""
+        raise NotImplementedError
+
     def _apply_per_parameter(
         self,
         current: HardwareConfig,
@@ -59,15 +149,36 @@ class ReconfigurationPolicy:
         bandwidth_gbps: float,
         accept,
         dirty_bytes_hint=None,
+        budget_s: float = float("inf"),
+        last_epoch_time_s: float = 0.0,
+        verdicts: Optional[List["PolicyVerdict"]] = None,
     ) -> HardwareConfig:
-        """Shared per-knob walk: ``accept(cost)`` decides each change."""
+        """Shared per-knob walk: ``accept(cost)`` decides each change.
+
+        When ``verdicts`` is a list, one :class:`PolicyVerdict` per
+        proposed change is appended; the decision itself is taken by the
+        exact same ``accept`` call either way.
+        """
         config = current
         for name in changed_parameters(current, predicted):
             cost = parameter_change_cost(
                 config, predicted, name, power, bandwidth_gbps,
                 dirty_bytes_hint=dirty_bytes_hint,
             )
-            if accept(cost):
+            accepted = accept(cost)
+            if verdicts is not None:
+                verdicts.append(
+                    self._verdict(
+                        name,
+                        config.get(name),
+                        predicted.get(name),
+                        cost,
+                        accepted,
+                        budget_s,
+                        last_epoch_time_s,
+                    )
+                )
+            if accepted:
                 config = config.with_value(name, predicted.get(name))
         return config
 
@@ -87,6 +198,54 @@ class AggressivePolicy(ReconfigurationPolicy):
         dirty_bytes_hint=None,
     ) -> HardwareConfig:
         return predicted
+
+    def filter_with_verdicts(
+        self,
+        current: HardwareConfig,
+        predicted: HardwareConfig,
+        last_epoch_time_s: float,
+        power: PowerModel,
+        bandwidth_gbps: float,
+        dirty_bytes_hint=None,
+    ) -> Tuple[HardwareConfig, List[PolicyVerdict]]:
+        verdicts: List[PolicyVerdict] = []
+        self._apply_per_parameter(
+            current,
+            predicted,
+            power,
+            bandwidth_gbps,
+            accept=lambda cost: True,
+            dirty_bytes_hint=dirty_bytes_hint,
+            last_epoch_time_s=last_epoch_time_s,
+            verdicts=verdicts,
+        )
+        return predicted, verdicts
+
+    def _verdict(
+        self,
+        parameter,
+        current_value,
+        proposed_value,
+        cost,
+        accepted,
+        budget_s,
+        last_epoch_time_s,
+    ) -> PolicyVerdict:
+        return PolicyVerdict(
+            parameter=parameter,
+            proposed=proposed_value,
+            current=current_value,
+            accepted=True,
+            code="always_apply",
+            reason=(
+                f"applied {parameter}: aggressive policy always follows "
+                f"the prediction (cost {cost.time_s:.3e} s)"
+            ),
+            cost_time_s=cost.time_s,
+            cost_energy_j=cost.energy_j,
+            budget_s=budget_s,
+            payback_epochs=_payback_epochs(cost.time_s, last_epoch_time_s),
+        )
 
 
 class ConservativePolicy(ReconfigurationPolicy):
@@ -117,6 +276,58 @@ class ConservativePolicy(ReconfigurationPolicy):
             dirty_bytes_hint=dirty_bytes_hint,
         )
 
+    def filter_with_verdicts(
+        self,
+        current: HardwareConfig,
+        predicted: HardwareConfig,
+        last_epoch_time_s: float,
+        power: PowerModel,
+        bandwidth_gbps: float,
+        dirty_bytes_hint=None,
+    ) -> Tuple[HardwareConfig, List[PolicyVerdict]]:
+        verdicts: List[PolicyVerdict] = []
+        applied = self._apply_per_parameter(
+            current,
+            predicted,
+            power,
+            bandwidth_gbps,
+            accept=lambda cost: cost.time_s <= self.max_cost_s,
+            dirty_bytes_hint=dirty_bytes_hint,
+            budget_s=self.max_cost_s,
+            last_epoch_time_s=last_epoch_time_s,
+            verdicts=verdicts,
+        )
+        return applied, verdicts
+
+    def _verdict(
+        self,
+        parameter,
+        current_value,
+        proposed_value,
+        cost,
+        accepted,
+        budget_s,
+        last_epoch_time_s,
+    ) -> PolicyVerdict:
+        relation = "<=" if accepted else ">"
+        action = "applied" if accepted else "rejected"
+        code = "within_max_cost" if accepted else "over_max_cost"
+        return PolicyVerdict(
+            parameter=parameter,
+            proposed=proposed_value,
+            current=current_value,
+            accepted=accepted,
+            code=code,
+            reason=(
+                f"{action} {parameter}: cost {cost.time_s:.3e} s "
+                f"{relation} max {budget_s:.3e} s"
+            ),
+            cost_time_s=cost.time_s,
+            cost_energy_j=cost.energy_j,
+            budget_s=budget_s,
+            payback_epochs=_payback_epochs(cost.time_s, last_epoch_time_s),
+        )
+
 
 class HybridPolicy(ReconfigurationPolicy):
     """Allow a change when its cost is a small fraction of the epoch."""
@@ -145,6 +356,63 @@ class HybridPolicy(ReconfigurationPolicy):
             bandwidth_gbps,
             accept=lambda cost: cost.time_s <= budget,
             dirty_bytes_hint=dirty_bytes_hint,
+        )
+
+    def filter_with_verdicts(
+        self,
+        current: HardwareConfig,
+        predicted: HardwareConfig,
+        last_epoch_time_s: float,
+        power: PowerModel,
+        bandwidth_gbps: float,
+        dirty_bytes_hint=None,
+    ) -> Tuple[HardwareConfig, List[PolicyVerdict]]:
+        budget = self.tolerance * max(last_epoch_time_s, 0.0)
+        verdicts: List[PolicyVerdict] = []
+        applied = self._apply_per_parameter(
+            current,
+            predicted,
+            power,
+            bandwidth_gbps,
+            accept=lambda cost: cost.time_s <= budget,
+            dirty_bytes_hint=dirty_bytes_hint,
+            budget_s=budget,
+            last_epoch_time_s=last_epoch_time_s,
+            verdicts=verdicts,
+        )
+        return applied, verdicts
+
+    def _verdict(
+        self,
+        parameter,
+        current_value,
+        proposed_value,
+        cost,
+        accepted,
+        budget_s,
+        last_epoch_time_s,
+    ) -> PolicyVerdict:
+        relation = "<=" if accepted else ">"
+        action = "applied" if accepted else "rejected"
+        code = "within_budget" if accepted else "over_budget"
+        payback = _payback_epochs(cost.time_s, last_epoch_time_s)
+        return PolicyVerdict(
+            parameter=parameter,
+            proposed=proposed_value,
+            current=current_value,
+            accepted=accepted,
+            code=code,
+            reason=(
+                f"{action} {parameter}: cost {cost.time_s:.3e} s "
+                f"{relation} budget {budget_s:.3e} s "
+                f"({self.tolerance:.0%} of epoch {last_epoch_time_s:.3e} s); "
+                f"payback {payback:.2f} epochs vs tolerance "
+                f"{self.tolerance:.2f}"
+            ),
+            cost_time_s=cost.time_s,
+            cost_energy_j=cost.energy_j,
+            budget_s=budget_s,
+            payback_epochs=payback,
         )
 
 

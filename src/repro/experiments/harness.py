@@ -23,9 +23,11 @@ from repro.baselines import (
     BEST_AVG_SPM,
     MAX_CFG,
     EpochTable,
+    epoch_cost_proxy,
     ideal_greedy,
     ideal_static,
     oracle,
+    per_epoch_costs,
     profile_adapt,
     run_static,
     spm_variant,
@@ -61,6 +63,7 @@ __all__ = [
     "evaluate_schemes",
     "gains_over",
     "default_policy_for",
+    "oracle_regret",
 ]
 
 #: The comparison set of Figures 5-7.
@@ -269,6 +272,86 @@ def evaluate_schemes(
                 reconfigurations=results[name].n_reconfigurations,
             )
     return results
+
+
+def oracle_regret(
+    schedule: ScheduleResult,
+    table: EpochTable,
+    mode: OptimizationMode,
+    records: Optional[Sequence[Dict]] = None,
+    top: int = 5,
+) -> Dict:
+    """Per-epoch regret of a schedule against the Oracle upper bound.
+
+    Answers "how far from optimal was this run, and where" in the
+    mode's additive cost proxy (energy for Energy-Efficient, time for
+    Power-Performance — see :func:`repro.baselines.epoch_cost_proxy`).
+    ``records``, when given, is a loaded trace of the *same* run: each
+    worst-regret epoch is joined with the ``decision`` event of the
+    preceding epoch (the decision that chose its configuration), so a
+    rejected proposal that would have moved toward the Oracle's choice
+    shows up next to the cost it incurred.
+
+    The Oracle is optimal only over the table's sampled configuration
+    set, so total regret can come out negative when the controller
+    visits configurations outside the sample — that reads as "beat the
+    sampled upper bound", not an error.
+    """
+    reference = oracle(table, mode)
+    costs = per_epoch_costs(schedule, mode)
+    ref_costs = per_epoch_costs(reference, mode)
+    n = min(len(costs), len(ref_costs))
+    if n == 0:
+        raise ConfigError("cannot compute regret over an empty schedule")
+    regret = costs[:n] - ref_costs[:n]
+
+    decisions_by_epoch: Dict[int, Dict] = {}
+    if records is not None:
+        for record in records:
+            if record.get("type") == "event" and record.get("name") == "decision":
+                attrs = record.get("attrs", {}) or {}
+                if attrs.get("epoch") is not None:
+                    decisions_by_epoch[attrs["epoch"]] = attrs
+
+    worst = []
+    for epoch in sorted(
+        range(n), key=lambda e: float(regret[e]), reverse=True
+    )[:top]:
+        entry = {
+            "epoch": epoch,
+            "regret": float(regret[epoch]),
+            "cost": float(costs[epoch]),
+            "oracle_cost": float(ref_costs[epoch]),
+            "config": schedule.records[epoch].config.describe(),
+            "oracle_config": reference.records[epoch].config.describe(),
+        }
+        # The decision at epoch e-1 picked epoch e's configuration.
+        decision = decisions_by_epoch.get(epoch - 1)
+        if decision is not None:
+            rejected = decision.get("rejected", [])
+            entry["rejected_proposals"] = {
+                parameter: decision.get("proposed", {}).get(parameter)
+                for parameter in rejected
+            }
+        worst.append(entry)
+
+    total_cost = float(costs[:n].sum())
+    oracle_cost = float(ref_costs[:n].sum())
+    return {
+        "mode": mode.value,
+        "proxy": epoch_cost_proxy(mode),
+        "n_epochs": n,
+        "total_cost": total_cost,
+        "oracle_cost": oracle_cost,
+        "total_regret": total_cost - oracle_cost,
+        "regret_pct": (
+            (total_cost - oracle_cost) / oracle_cost * 100.0
+            if oracle_cost > 0
+            else 0.0
+        ),
+        "per_epoch": [float(r) for r in regret],
+        "worst_epochs": worst,
+    }
 
 
 def gains_over(

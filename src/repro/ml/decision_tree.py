@@ -271,6 +271,52 @@ class _BaseTree:
             stack.append((node.right, idx[~go_left]))
         return out
 
+    def decision_path(self, features) -> dict:
+        """Root-to-leaf trace explaining the prediction for ONE sample.
+
+        Returns ``{"steps": [...], "leaf": {...}}``. Each step records
+        the comparison made at one internal node::
+
+            {"depth": 0, "feature": 4, "threshold": 0.24,
+             "value": 0.31, "direction": "gt"}
+
+        ``direction`` is ``"le"`` when the sample went left
+        (``value <= threshold``) and ``"gt"`` otherwise. The leaf entry
+        carries its depth, training-sample count, and raw node value
+        (class probabilities for classifiers, mean target for
+        regressors). Subclasses extend the leaf with the decoded
+        ``prediction`` (and a vote ``margin`` for classifiers).
+        """
+        root = self._check_fitted()
+        sample = np.asarray(features, dtype=np.float64).reshape(-1)
+        if sample.size != self.n_features_:
+            raise ModelError(
+                f"expected {self.n_features_} features, got {sample.size}"
+            )
+        steps = []
+        node = root
+        depth = 0
+        while not node.is_leaf:
+            observed = float(sample[node.feature])
+            go_left = observed <= node.threshold
+            steps.append(
+                {
+                    "depth": depth,
+                    "feature": int(node.feature),
+                    "threshold": float(node.threshold),
+                    "value": observed,
+                    "direction": "le" if go_left else "gt",
+                }
+            )
+            node = node.left if go_left else node.right
+            depth += 1
+        leaf = {
+            "depth": depth,
+            "n_samples": int(node.n_samples),
+            "value": [float(v) for v in node.value],
+        }
+        return {"steps": steps, "leaf": leaf}
+
     # -- introspection -------------------------------------------------------
     def depth(self) -> int:
         """Depth of the fitted tree (0 for a single leaf)."""
@@ -413,6 +459,30 @@ class DecisionTreeClassifier(_BaseTree):
         labels = np.asarray(labels)
         return float(np.mean(self.predict(features) == labels))
 
+    def decision_path(self, features) -> dict:
+        """Path trace plus the decoded class and its vote margin.
+
+        The leaf gains ``prediction`` (the class label, decoded exactly
+        like :meth:`predict`) and ``margin`` — the probability gap
+        between the winning class and the runner-up at the leaf (1.0
+        for a pure or single-class leaf).
+        """
+        if self.classes_ is None:
+            raise ModelError("estimator is not fitted; call fit() first")
+        path = super().decision_path(features)
+        probabilities = np.asarray(path["leaf"]["value"])
+        best = int(np.argmax(probabilities))
+        prediction = self.classes_[best]
+        item = getattr(prediction, "item", None)
+        path["leaf"]["prediction"] = item() if callable(item) else prediction
+        if probabilities.size > 1:
+            others = np.delete(probabilities, best)
+            margin = float(probabilities[best] - others.max())
+        else:
+            margin = 1.0
+        path["leaf"]["margin"] = margin
+        return path
+
 
 class DecisionTreeRegressor(_BaseTree):
     """CART regression tree with variance-reduction splitting."""
@@ -468,6 +538,12 @@ class DecisionTreeRegressor(_BaseTree):
     def predict(self, features) -> np.ndarray:
         """Predicted targets."""
         return self._decision_values(features)[:, 0]
+
+    def decision_path(self, features) -> dict:
+        """Path trace plus the predicted target at the leaf."""
+        path = super().decision_path(features)
+        path["leaf"]["prediction"] = path["leaf"]["value"][0]
+        return path
 
     def score(self, features, targets) -> float:
         """Coefficient of determination R^2."""

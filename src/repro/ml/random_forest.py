@@ -111,6 +111,38 @@ class RandomForestClassifier:
         probs = self.predict_proba(features)
         return self.classes_[np.argmax(probs, axis=1)]
 
+    def decision_path(self, features) -> dict:
+        """Per-tree root-to-leaf traces plus the ensemble vote tally.
+
+        Returns a dict with the decoded ensemble ``prediction`` (exactly
+        :meth:`predict` on the same sample), the averaged ``votes`` per
+        class label, the ensemble ``margin`` (winner minus runner-up
+        vote share), and ``trees`` — one
+        :meth:`~repro.ml.decision_tree.DecisionTreeClassifier.decision_path`
+        result per member tree, each carrying its own leaf margin.
+        """
+        if not self.trees_:
+            raise ModelError("estimator is not fitted; call fit() first")
+        sample = np.asarray(features, dtype=np.float64).reshape(1, -1)
+        votes = self.predict_proba(sample)[0]
+        best = int(np.argmax(votes))
+        prediction = self.classes_[best]
+        item = getattr(prediction, "item", None)
+        if votes.size > 1:
+            others = np.delete(votes, best)
+            margin = float(votes[best] - others.max())
+        else:
+            margin = 1.0
+        return {
+            "prediction": item() if callable(item) else prediction,
+            "votes": {
+                str(label): float(share)
+                for label, share in zip(self.classes_, votes)
+            },
+            "margin": margin,
+            "trees": [tree.decision_path(sample[0]) for tree in self.trees_],
+        }
+
     def score(self, features, labels) -> float:
         """Mean accuracy on the given data."""
         labels = np.asarray(labels)

@@ -15,6 +15,9 @@ gives the runtime three capabilities:
 * **Reports** — :mod:`repro.obs.report` summarizes a recorded trace
   (epoch timeline, reconfiguration counts, decision-latency
   histogram), backing the ``repro trace-report`` CLI command.
+  :mod:`repro.obs.explain` renders the per-decision provenance records
+  (``repro explain``) and :mod:`repro.obs.diff` aligns two traces
+  epoch-by-epoch (``repro diff``).
 
 Typical use::
 
@@ -28,7 +31,7 @@ Typical use::
 See ``docs/observability.md`` for the trace schema and naming rules.
 """
 
-from repro.obs import metrics, report
+from repro.obs import diff, explain, metrics, report
 from repro.obs.sinks import (
     FileSink,
     MemorySink,
@@ -46,6 +49,8 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "diff",
+    "explain",
     "metrics",
     "report",
     "TraceSink",

@@ -204,6 +204,40 @@ class Histogram(_Instrument):
         out.append((float("inf"), running + self.bucket_counts[-1]))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the cumulative buckets.
+
+        Uses Prometheus ``histogram_quantile`` semantics: find the
+        bucket the target rank falls into and interpolate linearly
+        inside it (the first bucket interpolates from 0, observations
+        being non-negative latencies/sizes in practice). If the rank
+        lands in the +Inf overflow bucket the highest finite bound is
+        returned — the estimate saturates rather than extrapolates.
+        Returns ``nan`` for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError("quantile must be within [0, 1]")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        running = 0
+        for i, bucket_count in enumerate(self.bucket_counts[:-1]):
+            previous = running
+            running += bucket_count
+            if running >= rank:
+                lower = 0.0 if i == 0 else self.bounds[i - 1]
+                upper = self.bounds[i]
+                if bucket_count == 0:  # rank == previous == running == 0
+                    return lower
+                return lower + (upper - lower) * (rank - previous) / (
+                    bucket_count
+                )
+        return self.bounds[-1]
+
+    def quantiles(self, qs: Iterable[float]) -> List[float]:
+        """Bucket-estimated quantiles for each ``q`` in ``qs``."""
+        return [self.quantile(q) for q in qs]
+
     def _touched(self) -> bool:
         return self.count > 0 or not self._children
 

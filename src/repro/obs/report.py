@@ -22,14 +22,56 @@ from collections import Counter as TallyCounter
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
 from repro.obs.sinks import read_jsonl
+from repro.obs.trace import SCHEMA_VERSION
 
-__all__ = ["load_trace", "summarize", "render", "ascii_histogram"]
+__all__ = [
+    "SUPPORTED_SCHEMA_VERSIONS",
+    "load_trace",
+    "trace_schema_version",
+    "check_schema",
+    "summarize",
+    "render",
+    "ascii_histogram",
+]
+
+#: Trace schema versions this tooling knows how to read. Version 1
+#: (PR 1, no header record) parses fine but lacks per-epoch config
+#: values and provenance records.
+SUPPORTED_SCHEMA_VERSIONS = (1, SCHEMA_VERSION)
 
 
 def load_trace(path: Union[str, Path]) -> List[Dict]:
     """Load a JSONL trace recorded by ``repro trace``."""
     return read_jsonl(path)
+
+
+def trace_schema_version(records: Sequence[Dict]) -> int:
+    """Schema version stamped in the trace header (1 when absent)."""
+    for record in records:
+        if record.get("type") == "header" and record.get("name") == "trace":
+            return int(_attrs(record).get("schema_version", 1))
+    return 1
+
+
+def check_schema(records: Sequence[Dict], origin: str = "trace") -> int:
+    """Validate a loaded trace's schema version; returns the version.
+
+    Raises :class:`ValueError` (the same class malformed JSONL raises,
+    so CLI error paths stay uniform) when the trace is empty or was
+    written by an unknown — presumably newer — schema.
+    """
+    if not records:
+        raise ValueError(f"{origin} contains no records")
+    version = trace_schema_version(records)
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        supported = ", ".join(str(v) for v in SUPPORTED_SCHEMA_VERSIONS)
+        raise ValueError(
+            f"{origin} uses trace schema version {version}; this build "
+            f"supports versions {supported}"
+        )
+    return version
 
 
 def _attrs(record: Dict) -> Dict:
@@ -229,11 +271,21 @@ def render(summary: Dict, top: int = 5, max_timeline_rows: int = 64) -> str:
         f"--- host decision latency ({len(latencies)} decisions) ---"
     )
     if latencies:
-        ordered = sorted(latencies)
-        mid = ordered[len(ordered) // 2]
+        histogram = Histogram(
+            "decision_latency", buckets=DEFAULT_BUCKETS
+        )
+        for value in latencies:
+            histogram.observe(value)
+        p50, p90, p99 = histogram.quantiles((0.50, 0.90, 0.99))
         lines.append(
-            "min/median/max: {:.2f} / {:.2f} / {:.2f} us".format(
-                ordered[0] * 1e6, mid * 1e6, ordered[-1] * 1e6
+            "p50/p90/p99 (bucket-estimated): "
+            "{:.2f} / {:.2f} / {:.2f} us".format(
+                p50 * 1e6, p90 * 1e6, p99 * 1e6
+            )
+        )
+        lines.append(
+            "min/max: {:.2f} / {:.2f} us".format(
+                min(latencies) * 1e6, max(latencies) * 1e6
             )
         )
     lines.append(ascii_histogram(latencies))

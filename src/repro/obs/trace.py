@@ -18,6 +18,12 @@ Record schema (one JSON object per line when file-backed)::
 ``ts`` the offset in seconds from recorder creation (spans stamp their
 *start*), ``dur_s`` is present on spans only.
 
+An enabled recorder stamps a ``header`` record (name ``trace``) as its
+very first emission, carrying :data:`SCHEMA_VERSION` so downstream
+tooling (``repro trace-report`` / ``diff`` / ``explain``) can detect
+format drift instead of misreading a trace. Traces from before the
+header existed are treated as schema version 1.
+
 The disabled case is a hard fast path: the module-level default
 recorder wraps a :class:`NullSink`, its ``enabled`` flag is ``False``,
 ``event()`` returns immediately, and ``span()`` hands back a shared
@@ -37,12 +43,20 @@ from typing import Iterator, Optional, Union
 from repro.obs.sinks import FileSink, MemorySink, NullSink, TraceSink
 
 __all__ = [
+    "SCHEMA_VERSION",
     "Span",
     "TraceRecorder",
     "get_recorder",
     "install",
     "recording",
 ]
+
+#: Version of the trace record schema. Bump when record names, required
+#: attributes, or field meanings change incompatibly. History:
+#: 1 — PR 1 format (spans/events, no header);
+#: 2 — header record, per-epoch ``config_values``, ``provenance``
+#:     events with decision paths and policy verdicts.
+SCHEMA_VERSION = 2
 
 
 class _NullSpan:
@@ -99,6 +113,8 @@ class TraceRecorder:
         self._origin = time.perf_counter()
         self._seq = 0
         self._lock = threading.Lock()
+        if self.enabled:
+            self._emit("header", "trace", {"schema_version": SCHEMA_VERSION})
 
     # ------------------------------------------------------------------
     def span(self, name: str, **attrs):

@@ -213,3 +213,139 @@ class TestTraceCommands:
             ]
         )
         assert get_recorder().enabled is False
+
+
+class TestExplainAndDiffCommands:
+    @pytest.fixture(scope="class")
+    def traces(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("traces")
+        clean = base / "clean.jsonl"
+        noisy = base / "noisy.jsonl"
+        common = [
+            "trace", "--kernel", "spmspv", "--matrix", "P1",
+            "--scale", "0.15",
+        ]
+        assert main(common + ["--trace-out", str(clean)]) == 0
+        assert (
+            main(
+                common
+                + [
+                    "--noise", "0.15", "--noise-seed", "7",
+                    "--trace-out", str(noisy),
+                ]
+            )
+            == 0
+        )
+        return clean, noisy
+
+    def test_explain_default(self, traces, capsys):
+        clean, _ = traces
+        capsys.readouterr()
+        assert main(["explain", str(clean)]) == 0
+        out = capsys.readouterr().out
+        assert "decision provenance" in out
+        assert "threshold" in out
+        assert "leaf predicts" in out
+
+    def test_explain_epoch_and_param_filters(self, traces, capsys):
+        clean, _ = traces
+        capsys.readouterr()
+        assert (
+            main(
+                ["explain", str(clean), "--epoch", "1", "--param", "l1_kb"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "epoch 1 · l1_kb" in out
+        assert "l2_kb" not in out
+
+    def test_explain_counters_flag(self, traces, capsys):
+        clean, _ = traces
+        capsys.readouterr()
+        assert main(["explain", str(clean), "--epoch", "1", "--counters"]) == 0
+        assert "observed counters" in capsys.readouterr().out
+
+    def test_diff_reports_divergence(self, traces, capsys):
+        clean, noisy = traces
+        capsys.readouterr()
+        assert main(["diff", str(clean), str(noisy)]) == 0
+        out = capsys.readouterr().out
+        assert "trace diff" in out
+        assert "first divergence: epoch" in out
+        assert "whole-run metrics" in out
+
+    def test_diff_identical_traces(self, traces, capsys):
+        clean, _ = traces
+        capsys.readouterr()
+        assert main(["diff", str(clean), str(clean)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_json(self, traces, capsys):
+        clean, noisy = traces
+        capsys.readouterr()
+        assert main(["diff", str(clean), str(noisy), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["first_divergence_epoch"] is not None
+        assert "parameter_counts" in payload["divergence"]
+        assert "regression_pct" in payload["metrics"]
+
+    def test_missing_trace_is_one_line_error(self, capsys):
+        assert main(["explain", "/nonexistent/trace.jsonl"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_malformed_trace_is_one_line_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"not json\n')
+        for verbs in (["explain", str(bad)], ["trace-report", str(bad)]):
+            assert main(verbs) == 1
+            err = capsys.readouterr().err
+            assert err.startswith("error:")
+            assert "Traceback" not in err
+
+    def test_diff_propagates_either_side_error(self, traces, tmp_path, capsys):
+        clean, _ = traces
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json at all\n")
+        assert main(["diff", str(bad), str(clean)]) == 1
+        assert main(["diff", str(clean), str(bad)]) == 1
+
+    def test_future_schema_rejected(self, tmp_path, capsys):
+        future = tmp_path / "future.jsonl"
+        future.write_text(
+            '{"seq": 0, "ts": 0, "type": "header", "name": "trace", '
+            '"attrs": {"schema_version": 99}}\n'
+        )
+        for verbs in (
+            ["explain", str(future)],
+            ["diff", str(future), str(future)],
+            ["trace-report", str(future)],
+        ):
+            assert main(verbs) == 1
+            err = capsys.readouterr().err
+            assert "schema version 99" in err
+            assert "Traceback" not in err
+
+    def test_empty_trace_rejected(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["explain", str(empty)]) == 1
+        assert "no records" in capsys.readouterr().err
+
+    def test_unknown_epoch_is_one_line_error(self, traces, capsys):
+        clean, _ = traces
+        capsys.readouterr()
+        assert main(["explain", str(clean), "--epoch", "9999"]) == 1
+        err = capsys.readouterr().err
+        assert "no provenance records match epoch 9999" in err
+
+    def test_trace_report_quantile_line(self, traces, capsys):
+        clean, _ = traces
+        capsys.readouterr()
+        assert main(["trace-report", str(clean)]) == 0
+        out = capsys.readouterr().out
+        assert "p50/p90/p99" in out
+        assert "min/max" in out

@@ -156,3 +156,68 @@ class TestCloneEstimator:
         tree = DecisionTreeClassifier(max_depth=7)
         clone = clone_estimator(tree, max_depth=2)
         assert clone.max_depth == 2
+
+
+class TestDecisionPath:
+    def test_path_reaches_predicts_leaf(self):
+        features, labels = _make_classification()
+        tree = DecisionTreeClassifier(max_depth=5).fit(features, labels)
+        for row in features[:50]:
+            path = tree.decision_path(row)
+            assert path["leaf"]["prediction"] == tree.predict(
+                row.reshape(1, -1)
+            )[0]
+
+    def test_steps_follow_threshold_comparisons(self):
+        features, labels = _make_classification()
+        tree = DecisionTreeClassifier(max_depth=4).fit(features, labels)
+        path = tree.decision_path(features[0])
+        for depth, step in enumerate(path["steps"]):
+            assert step["depth"] == depth
+            observed = features[0][step["feature"]]
+            assert step["value"] == pytest.approx(observed)
+            if step["direction"] == "le":
+                assert observed <= step["threshold"]
+            else:
+                assert observed > step["threshold"]
+        assert path["leaf"]["depth"] == len(path["steps"])
+        assert path["leaf"]["n_samples"] >= 1
+
+    def test_margin_bounds(self):
+        features, labels = _make_classification()
+        tree = DecisionTreeClassifier(max_depth=6).fit(features, labels)
+        for row in features[:20]:
+            margin = tree.decision_path(row)["leaf"]["margin"]
+            assert 0.0 <= margin <= 1.0
+
+    def test_single_class_margin_is_one(self):
+        features = np.zeros((10, 2))
+        labels = np.ones(10, dtype=int)
+        tree = DecisionTreeClassifier().fit(features, labels)
+        assert tree.decision_path(features[0])["leaf"]["margin"] == 1.0
+
+    def test_regressor_path_prediction(self):
+        features = np.linspace(0, 1, 100).reshape(-1, 1)
+        targets = (features[:, 0] > 0.5).astype(float)
+        tree = DecisionTreeRegressor(max_depth=3).fit(features, targets)
+        path = tree.decision_path(np.array([0.75]))
+        assert path["leaf"]["prediction"] == pytest.approx(
+            tree.predict(np.array([[0.75]]))[0]
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier().decision_path(np.zeros(3))
+
+    def test_wrong_feature_count_raises(self):
+        features, labels = _make_classification(n=50)
+        tree = DecisionTreeClassifier().fit(features, labels)
+        with pytest.raises(ModelError):
+            tree.decision_path(np.zeros(3))
+
+    def test_path_is_json_friendly(self):
+        import json
+
+        features, labels = _make_classification()
+        tree = DecisionTreeClassifier(max_depth=4).fit(features, labels)
+        json.dumps(tree.decision_path(features[0]))

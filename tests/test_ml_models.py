@@ -64,6 +64,33 @@ class TestRandomForest:
         with pytest.raises(ModelError):
             RandomForestClassifier(max_features="log2")
 
+    def test_decision_path_matches_predict(self):
+        features, labels = _make_data()
+        forest = RandomForestClassifier(
+            n_estimators=7, max_depth=5, random_state=2
+        ).fit(features, labels)
+        predictions = forest.predict(features[:25])
+        for row, expected in zip(features[:25], predictions):
+            path = forest.decision_path(row)
+            assert path["prediction"] == expected
+            assert len(path["trees"]) == 7
+            assert 0.0 <= path["margin"] <= 1.0
+            assert sum(path["votes"].values()) == pytest.approx(1.0)
+
+    def test_decision_path_per_tree_paths(self):
+        features, labels = _make_data(n=100)
+        forest = RandomForestClassifier(
+            n_estimators=3, max_depth=4, random_state=0
+        ).fit(features, labels)
+        path = forest.decision_path(features[0])
+        for member in path["trees"]:
+            assert "steps" in member and "leaf" in member
+            assert member["leaf"]["n_samples"] >= 1
+
+    def test_decision_path_unfitted_raises(self):
+        with pytest.raises(ModelError):
+            RandomForestClassifier().decision_path(np.zeros(3))
+
 
 class TestLinearModels:
     def test_linear_regression_separable(self):

@@ -222,3 +222,167 @@ class TestTraceReportPipeline:
         assert len(spans) == 1
         assert spans[0]["attrs"]["matrix"] == "P1"
         assert spans[0]["attrs"]["n_epochs"] >= 1
+
+
+class TestProvenanceRecords:
+    def test_header_is_first_record_with_schema_version(
+        self, runtime, matrix, vector
+    ):
+        from repro.obs.trace import SCHEMA_VERSION
+
+        with obs.recording(None) as recorder:
+            runtime.spmspv(matrix, vector)
+        records = recorder.sink.records()
+        assert records[0]["type"] == "header"
+        assert records[0]["name"] == "trace"
+        assert records[0]["attrs"]["schema_version"] == SCHEMA_VERSION
+
+    def test_one_provenance_record_per_epoch_and_parameter(
+        self, runtime, matrix, vector
+    ):
+        from repro.transmuter.config import RUNTIME_PARAMETERS
+
+        with obs.recording(None) as recorder:
+            outcome = runtime.spmspv(matrix, vector)
+        provenance = [
+            r for r in recorder.sink.records() if r["name"] == "provenance"
+        ]
+        assert len(provenance) == outcome.schedule.n_epochs * len(
+            RUNTIME_PARAMETERS
+        )
+        for record in provenance:
+            attrs = record["attrs"]
+            assert attrs["parameter"] in RUNTIME_PARAMETERS
+            assert attrs["path"], "tree-backed params always have a path"
+            for step in attrs["path"]:
+                assert isinstance(step["feature"], str)
+                assert step["direction"] in ("le", "gt")
+            assert attrs["counters_raw"]
+            assert attrs["counters_observed"]
+
+    def test_provenance_predictions_match_decision_proposals(
+        self, runtime, matrix, vector
+    ):
+        with obs.recording(None) as recorder:
+            runtime.spmspv(matrix, vector)
+        records = recorder.sink.records()
+        decisions = {
+            r["attrs"]["epoch"]: r["attrs"]
+            for r in records
+            if r["name"] == "decision"
+        }
+        for record in records:
+            if record["name"] != "provenance":
+                continue
+            attrs = record["attrs"]
+            proposed = decisions[attrs["epoch"]]["proposed"]
+            if attrs["parameter"] in proposed:
+                assert proposed[attrs["parameter"]] == [
+                    attrs["current"],
+                    attrs["predicted"],
+                ]
+            else:
+                assert attrs["current"] == attrs["predicted"]
+
+    def test_verdicts_agree_with_accepted_changes(
+        self, runtime, matrix, vector
+    ):
+        with obs.recording(None) as recorder:
+            runtime.spmspv(matrix, vector)
+        records = recorder.sink.records()
+        decisions = {
+            r["attrs"]["epoch"]: r["attrs"]
+            for r in records
+            if r["name"] == "decision"
+        }
+        checked = 0
+        for record in records:
+            if record["name"] != "provenance":
+                continue
+            attrs = record["attrs"]
+            verdict = attrs["verdict"]
+            if verdict is None:
+                continue
+            decision = decisions[attrs["epoch"]]
+            assert verdict["accepted"] == (
+                attrs["parameter"] in decision["accepted"]
+            )
+            assert verdict["reason"]
+            assert verdict["code"]
+            assert verdict["cost_time_s"] >= 0.0
+            checked += 1
+        assert checked > 0, "run proposed no changes; test is vacuous"
+
+    def test_clean_run_raw_equals_observed_counters(
+        self, runtime, matrix, vector
+    ):
+        with obs.recording(None) as recorder:
+            runtime.spmspv(matrix, vector)
+        for record in recorder.sink.records():
+            if record["name"] == "provenance":
+                attrs = record["attrs"]
+                assert attrs["counters_raw"] == attrs["counters_observed"]
+
+    def test_noisy_run_perturbs_observed_counters(self, matrix, vector):
+        from repro.core.controller import SparseAdaptController
+        from repro.core.training import train_default_model
+        from repro.kernels.spmspv import trace_spmspv
+        from repro.transmuter.machine import TransmuterModel
+
+        model = train_default_model(
+            OptimizationMode.ENERGY_EFFICIENT, kernel="spmspv"
+        )
+        trace = trace_spmspv(matrix.to_csc(), vector, 500)
+        controller = SparseAdaptController(
+            model=model,
+            machine=TransmuterModel(),
+            mode=OptimizationMode.ENERGY_EFFICIENT,
+            telemetry_noise=0.1,
+            noise_seed=3,
+        )
+        with obs.recording(None) as recorder:
+            controller.run(trace)
+        provenance = [
+            r for r in recorder.sink.records() if r["name"] == "provenance"
+        ]
+        assert any(
+            r["attrs"]["counters_raw"] != r["attrs"]["counters_observed"]
+            for r in provenance
+        )
+
+    def test_policy_verdict_metrics_labeled(self, runtime, matrix, vector):
+        from repro.obs import metrics
+
+        metrics.reset()
+        try:
+            with obs.recording(None):
+                runtime.spmspv(matrix, vector)
+            snapshot = metrics.snapshot()
+            assert "controller.policy_verdicts" in snapshot
+            series = snapshot["controller.policy_verdicts"]["series"]
+            labeled = [key for key in series if key]
+            assert labeled, "no labeled verdict series recorded"
+            for key in labeled:
+                assert "parameter=" in key
+                assert "verdict=" in key
+                assert "reason=" in key
+        finally:
+            metrics.reset()
+
+    def test_provenance_emission_does_not_change_results(
+        self, runtime, matrix, vector
+    ):
+        # The traced path goes through predict_with_provenance and
+        # filter_with_verdicts; results must still be byte-identical
+        # to the untraced predict/filter path.
+        with obs.recording(None) as recorder:
+            traced = runtime.spmspv(matrix, vector)
+        assert any(
+            r["name"] == "provenance" for r in recorder.sink.records()
+        )
+        untraced = runtime.spmspv(matrix, vector)
+        assert traced.schedule.summary() == untraced.schedule.summary()
+        assert (
+            traced.schedule.config_sequence()
+            == untraced.schedule.config_sequence()
+        )

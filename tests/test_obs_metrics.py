@@ -75,6 +75,68 @@ class TestHistogram:
             registry.histogram("h", buckets=())
 
 
+class TestQuantiles:
+    def test_interpolates_within_bucket(self, registry):
+        # 10 observations all in the (10, 20] bucket: the median rank
+        # (5 of 10) sits halfway through it -> 15 by interpolation.
+        histogram = registry.histogram("h", buckets=(10.0, 20.0))
+        for _ in range(10):
+            histogram.observe(15.0)
+        assert histogram.quantile(0.5) == pytest.approx(15.0)
+        assert histogram.quantile(1.0) == pytest.approx(20.0)
+
+    def test_first_bucket_interpolates_from_zero(self, registry):
+        histogram = registry.histogram("h", buckets=(8.0, 16.0))
+        for _ in range(4):
+            histogram.observe(1.0)
+        # rank 2 of 4, all in the first bucket: 8 * 2/4 = 4.
+        assert histogram.quantile(0.5) == pytest.approx(4.0)
+
+    def test_spread_across_buckets(self, registry):
+        histogram = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 3.5):
+            histogram.observe(value)
+        # p75 -> rank 3 of 4, lands at the end of the (2, 4] bucket's
+        # first of two observations: 2 + (4-2) * (3-2)/2 = 3.
+        assert histogram.quantile(0.75) == pytest.approx(3.0)
+
+    def test_overflow_rank_saturates_at_highest_bound(self, registry):
+        histogram = registry.histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(0.5)
+        histogram.observe(100.0)  # +Inf overflow bucket
+        assert histogram.quantile(0.99) == pytest.approx(10.0)
+
+    def test_empty_histogram_is_nan(self, registry):
+        import math
+
+        histogram = registry.histogram("h", buckets=(1.0,))
+        assert math.isnan(histogram.quantile(0.5))
+
+    def test_out_of_range_rejected(self, registry):
+        histogram = registry.histogram("h", buckets=(1.0,))
+        histogram.observe(0.5)
+        with pytest.raises(ConfigError):
+            histogram.quantile(-0.1)
+        with pytest.raises(ConfigError):
+            histogram.quantile(1.1)
+
+    def test_quantiles_batch(self, registry):
+        histogram = registry.histogram("h", buckets=(10.0, 20.0))
+        for _ in range(10):
+            histogram.observe(5.0)
+        p50, p90 = histogram.quantiles((0.5, 0.9))
+        assert p50 == pytest.approx(5.0)
+        assert p90 == pytest.approx(9.0)
+
+    def test_monotone_in_q(self, registry):
+        histogram = registry.histogram("h")
+        for value in (1e-6, 5e-6, 2e-5, 1e-4, 3e-3, 0.5):
+            histogram.observe(value)
+        qs = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
+        estimates = histogram.quantiles(qs)
+        assert estimates == sorted(estimates)
+
+
 class TestLabels:
     def test_children_are_cached_and_independent(self, registry):
         counter = registry.counter("offloads")

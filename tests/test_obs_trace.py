@@ -6,7 +6,18 @@ import pytest
 
 from repro import obs
 from repro.obs.sinks import FileSink, MemorySink, NullSink, read_jsonl
-from repro.obs.trace import TraceRecorder, get_recorder, install, recording
+from repro.obs.trace import (
+    SCHEMA_VERSION,
+    TraceRecorder,
+    get_recorder,
+    install,
+    recording,
+)
+
+
+def _payload(records):
+    """Records minus the schema header every enabled recorder emits."""
+    return [r for r in records if r["type"] != "header"]
 
 
 class TestDisabledFastPath:
@@ -28,15 +39,24 @@ class TestDisabledFastPath:
 
 
 class TestRecorder:
+    def test_enabled_recorder_emits_header_first(self):
+        sink = MemorySink()
+        TraceRecorder(sink)
+        (header,) = sink.records()
+        assert header["type"] == "header"
+        assert header["name"] == "trace"
+        assert header["seq"] == 0
+        assert header["attrs"] == {"schema_version": SCHEMA_VERSION}
+
     def test_event_record_shape(self):
         sink = MemorySink()
         recorder = TraceRecorder(sink)
         recorder.event("reconfig", epoch=3, cost_s=1e-5)
-        (record,) = sink.records()
+        (record,) = _payload(sink.records())
         assert record["type"] == "event"
         assert record["name"] == "reconfig"
         assert record["attrs"] == {"epoch": 3, "cost_s": 1e-5}
-        assert record["seq"] == 0
+        assert record["seq"] == 1  # seq 0 is the schema header
         assert record["ts"] >= 0.0
         assert "dur_s" not in record
 
@@ -45,7 +65,7 @@ class TestRecorder:
         recorder = TraceRecorder(sink)
         with recorder.span("epoch", epoch=0) as span:
             span.set(config="cfg", time_s=1e-6)
-        (record,) = sink.records()
+        (record,) = _payload(sink.records())
         assert record["type"] == "span"
         assert record["dur_s"] >= 0.0
         assert record["attrs"]["epoch"] == 0
@@ -56,7 +76,7 @@ class TestRecorder:
         recorder = TraceRecorder(sink)
         for i in range(5):
             recorder.event("e", i=i)
-        assert [r["seq"] for r in sink.records()] == list(range(5))
+        assert [r["seq"] for r in sink.records()] == list(range(6))
 
 
 class TestMemorySink:
@@ -67,8 +87,8 @@ class TestMemorySink:
             recorder.event("e", i=i)
         kept = sink.records()
         assert len(kept) == 4
-        assert sink.evicted == 6
-        assert sink.emitted == 10
+        assert sink.evicted == 7  # 10 events + header, capacity 4
+        assert sink.emitted == 11
         assert [r["attrs"]["i"] for r in kept] == [6, 7, 8, 9]
 
     def test_capacity_must_be_positive(self):
@@ -79,7 +99,7 @@ class TestMemorySink:
         sink = MemorySink()
         TraceRecorder(sink).event("e", value=1.5)
         path = sink.dump(tmp_path / "trace.jsonl")
-        assert read_jsonl(path)[0]["attrs"] == {"value": 1.5}
+        assert _payload(read_jsonl(path))[0]["attrs"] == {"value": 1.5}
 
 
 class TestFileSink:
@@ -91,7 +111,7 @@ class TestFileSink:
         with recorder.span("epoch", epoch=0) as span:
             span.set(gflops=1.25)
         recorder.close()
-        records = read_jsonl(path)
+        records = _payload(read_jsonl(path))
         assert len(records) == 2
         assert records[0]["name"] == "start"
         assert records[0]["attrs"]["noise_seed"] == 7
@@ -105,7 +125,7 @@ class TestFileSink:
         sink = FileSink(path)
         TraceRecorder(sink).event("e", what={"a", "b"}, obj=object())
         sink.close()
-        (record,) = read_jsonl(path)
+        (record,) = _payload(read_jsonl(path))
         assert record["attrs"]["what"] == ["a", "b"]
         assert "object" in record["attrs"]["obj"]
 
@@ -126,7 +146,7 @@ class TestInstallAndRecording:
             assert get_recorder() is recorder
             recorder.event("e")
         assert get_recorder().enabled is False
-        assert len(read_jsonl(path)) == 1
+        assert len(_payload(read_jsonl(path))) == 1
 
     def test_recording_default_is_ring_buffer(self):
         with recording(None, capacity=2) as recorder:
