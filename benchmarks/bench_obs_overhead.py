@@ -54,7 +54,7 @@ def _seed_loop(controller: SparseAdaptController, trace) -> ScheduleResult:
         )
         last_epoch_time = result.time_s
         dirty_hint = workload.stores * params.WORD_BYTES
-        counters = controller._observe(result.counters)
+        counters = result.counters
         predicted = controller.model.predict(counters, config)
         applied = controller.policy.filter(
             current=config,

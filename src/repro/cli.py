@@ -29,6 +29,15 @@ Commands
     Align two recorded traces epoch-by-epoch: first-divergence epoch,
     per-parameter divergence timeline, counter deltas at divergence,
     and a whole-run metric regression summary.
+``faults``
+    Run a fault-injection campaign from a schedule spec file (or the
+    built-in ``--mixed`` schedule) and print the degradation table:
+    gain over BASELINE and clean-gain retention per fault-rate scale,
+    hardened vs. unhardened.
+
+Every library failure (bad arguments, malformed spec files, unknown
+fault kinds, ...) exits 1 with a one-line ``error: ...`` on stderr —
+never a traceback.
 """
 
 from __future__ import annotations
@@ -106,6 +115,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="include Ideal Static / Ideal Greedy / Oracle",
     )
     run.add_argument(
+        "--noise",
+        type=float,
+        default=0.0,
+        help="telemetry noise sigma on the SparseAdapt scheme",
+    )
+    run.add_argument(
+        "--noise-seed",
+        type=int,
+        default=0,
+        help="RNG seed of the telemetry noise stream",
+    )
+    run.add_argument(
+        "--faults",
+        help="fault schedule JSON for the SparseAdapt scheme "
+        "(see docs/robustness.md)",
+    )
+    run.add_argument(
+        "--no-hardening",
+        action="store_true",
+        help="run the fault-injected controller without the hardened "
+        "sanitize/read-back/safe-mode layer",
+    )
+    run.add_argument(
         "--json",
         action="store_true",
         help="emit machine-readable JSON instead of the gain table",
@@ -148,6 +180,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="RNG seed of the telemetry noise stream (recorded in the trace)",
+    )
+    trace.add_argument(
+        "--faults",
+        help="fault schedule JSON (see docs/robustness.md); the "
+        "injected and detected faults are recorded in the trace",
+    )
+    trace.add_argument(
+        "--no-hardening",
+        action="store_true",
+        help="run the fault-injected controller without the hardened "
+        "sanitize/read-back/safe-mode layer",
     )
     trace.add_argument(
         "--trace-out", required=True, help="output JSONL trace path"
@@ -209,10 +252,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the structured diff as JSON instead of the report",
     )
 
+    faults = commands.add_parser(
+        "faults", help="run a fault-injection campaign"
+    )
+    faults.add_argument(
+        "spec",
+        nargs="?",
+        help="fault schedule JSON file (omit when using --mixed)",
+    )
+    faults.add_argument(
+        "--mixed",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="use the built-in all-kinds schedule at this base rate "
+        "instead of a spec file",
+    )
+    faults.add_argument(
+        "--seed", type=int, default=0, help="schedule seed for --mixed"
+    )
+    faults.add_argument(
+        "--rates",
+        default="0,0.5,1",
+        help="comma-separated rate scale factors to sweep "
+        "(multipliers on the schedule's fire rates)",
+    )
+    faults.add_argument(
+        "--kernel",
+        choices=("spmspm", "spmspv", "bfs", "sssp"),
+        default="spmspv",
+    )
+    faults.add_argument("--matrix", default="P3", help="Table-5 id")
+    faults.add_argument("--scale", type=float, default=0.3)
+    faults.add_argument("--mode", choices=sorted(_MODES), default="ee")
+    faults.add_argument(
+        "--no-unhardened",
+        action="store_true",
+        help="skip the unhardened comparison runs",
+    )
+    faults.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the campaign result as JSON instead of the table",
+    )
+    faults.add_argument(
+        "--out", help="also write the campaign result JSON to this path"
+    )
+
     return parser
 
 
 # ---------------------------------------------------------------------------
+def _fault_setup(args):
+    """Resolve the shared ``--noise``/``--faults`` arguments.
+
+    Returns ``(faults, hardening)`` for the controller, or raises
+    :class:`~repro.errors.FaultError` (one-line error, exit 1) for
+    negative rates, conflicting flags, and unreadable/malformed spec
+    files — the CLI boundary validates before any model is trained.
+    """
+    from repro.core.hardening import HardeningConfig
+    from repro.errors import FaultError
+    from repro.faults import FaultSchedule, noise_schedule
+
+    noise = getattr(args, "noise", 0.0)
+    if noise < 0:
+        raise FaultError(f"--noise must be non-negative, got {noise:g}")
+    if noise > 0 and args.faults:
+        raise FaultError("pass either --noise or --faults, not both")
+    if args.faults:
+        schedule = FaultSchedule.from_file(args.faults)
+        hardening = (
+            HardeningConfig.disabled() if args.no_hardening else None
+        )
+        return schedule, hardening
+    if noise > 0:
+        # Legacy noise as its fault-schedule equivalent (bit-identical
+        # stream, hardening off — the historical behaviour).
+        return (
+            noise_schedule(noise, getattr(args, "noise_seed", 0)),
+            HardeningConfig.disabled(),
+        )
+    return None, None
+
+
 def _mode(label: str):
     from repro.core.modes import OptimizationMode
 
@@ -283,6 +406,7 @@ def _command_run(args) -> int:
     from repro.experiments.reporting import format_gain_table
     from repro.transmuter import TransmuterModel
 
+    faults, hardening = _fault_setup(args)
     trace = build_trace(args.kernel, args.matrix, scale=args.scale)
     if not args.json:
         print(f"trace: {trace.name} ({trace.n_epochs} epochs)")
@@ -295,6 +419,8 @@ def _command_run(args) -> int:
         policy=default_policy_for(
             "spmspm" if args.kernel == "spmspm" else "spmspv"
         ),
+        faults=faults,
+        hardening=hardening,
     )
     schemes = (
         UPPER_BOUND_SCHEMES + ("Best Avg", "Max Cfg")
@@ -316,6 +442,13 @@ def _command_run(args) -> int:
             },
             "gains_over_baseline": gains,
         }
+        if faults is not None:
+            payload["faults"] = {
+                "seed": faults.seed,
+                "kinds": sorted(faults.kinds()),
+                "n_specs": len(faults),
+                "hardened": hardening is None or hardening.enabled,
+            }
         print(json.dumps(_to_jsonable(payload), indent=2))
         return 0
     rows = {
@@ -390,13 +523,22 @@ def _command_trace(args) -> int:
         if args.model
         else train_default_model(mode, kernel=model_kernel, l1_type="cache")
     )
+    faults, hardening = _fault_setup(args)
+    if args.faults:
+        fault_kwargs = {"faults": faults, "hardening": hardening}
+    else:
+        # Legacy --noise stays on the telemetry_noise shim so existing
+        # noise traces remain byte-identical (same stream, same records).
+        fault_kwargs = {
+            "telemetry_noise": args.noise,
+            "noise_seed": args.noise_seed,
+        }
     controller = SparseAdaptController(
         model=model,
         machine=TransmuterModel(bandwidth_gbps=args.bandwidth),
         mode=mode,
         policy=default_policy_for(model_kernel),
-        telemetry_noise=args.noise,
-        noise_seed=args.noise_seed,
+        **fault_kwargs,
     )
     with obs.recording(args.trace_out) as recorder:
         schedule = controller.run(trace)
@@ -411,6 +553,57 @@ def _command_trace(args) -> int:
         else:
             print(f"  {key}: {value}")
     print(f"inspect with: repro trace-report {args.trace_out}")
+    return 0
+
+
+def _command_faults(args) -> int:
+    from repro.errors import FaultError
+    from repro.faults import (
+        FaultSchedule,
+        format_campaign_table,
+        mixed_schedule,
+        run_campaign,
+    )
+
+    if (args.spec is None) == (args.mixed is None):
+        raise FaultError(
+            "pass exactly one of a schedule spec file or --mixed RATE"
+        )
+    if args.mixed is not None:
+        schedule = mixed_schedule(args.mixed, seed=args.seed)
+    else:
+        schedule = FaultSchedule.from_file(args.spec)
+    try:
+        rates = tuple(
+            float(token) for token in args.rates.split(",") if token.strip()
+        )
+    except ValueError:
+        raise FaultError(
+            f"--rates must be comma-separated numbers, got {args.rates!r}"
+        ) from None
+    if not rates:
+        raise FaultError("--rates must name at least one rate scale")
+
+    result = run_campaign(
+        schedule,
+        rates=rates,
+        kernel=args.kernel,
+        matrix_id=args.matrix,
+        scale=args.scale,
+        mode=_mode(args.mode),
+        include_unhardened=not args.no_unhardened,
+    )
+    payload = _to_jsonable(result.as_dict())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_campaign_table(result))
+        if args.out:
+            print(f"campaign result written to {args.out}")
     return 0
 
 
@@ -537,6 +730,8 @@ def _pretty_print(value, indent: int = 0) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
     handlers = {
         "info": lambda: _command_info(),
@@ -548,12 +743,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace-report": lambda: _command_trace_report(args),
         "explain": lambda: _command_explain(args),
         "diff": lambda: _command_diff(args),
+        "faults": lambda: _command_faults(args),
     }
     try:
         return handlers[args.command]()
     except BrokenPipeError:
         # Output piped into a closed reader (e.g. `| head`): not an error.
         return 0
+    except ReproError as exc:
+        # Every library failure surfaces as one line, never a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -9,6 +9,11 @@ Public API::
 """
 
 from repro.core.controller import SparseAdaptController
+from repro.core.hardening import (
+    CounterSanitizer,
+    HardeningConfig,
+    SafeModeMachine,
+)
 from repro.core.ablation import (
     AblatedSparseAdaptModel,
     train_counters_only_model,
@@ -75,6 +80,9 @@ __all__ = [
     "cost_value",
     "SparseAdaptModel",
     "SparseAdaptController",
+    "HardeningConfig",
+    "CounterSanitizer",
+    "SafeModeMachine",
     "TransmuterRuntime",
     "OffloadOutcome",
     "ScheduleResult",

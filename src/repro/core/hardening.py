@@ -1,0 +1,257 @@
+"""Controller hardening: counter sanitization and safe-mode degradation.
+
+A deployed SparseAdapt controller reads saturating hardware counters
+over a noisy sideband and commands reconfigurations it cannot directly
+confirm. This module provides the defensive layer the hardened
+controller installs in front of the predictive model:
+
+* :class:`CounterSanitizer` — per-counter plausibility screening
+  (NaN/inf, out-of-range, suspicious full-scale pins, stale reads,
+  configuration-echo mismatches) with last-known-good substitution, so
+  a corrupt telemetry vector never reaches the decision trees raw;
+* :class:`SafeModeMachine` — a three-state degradation machine
+  (``normal`` -> ``safe`` -> ``probe``): after a streak of faulty
+  epochs the controller parks the machine in its static safe
+  configuration, and after enough clean epochs it probes one adaptive
+  epoch before fully re-engaging;
+* :class:`HardeningConfig` — the tunables for both, with
+  :meth:`HardeningConfig.disabled` providing the bit-exact passthrough
+  used when the controller runs unhardened.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.transmuter.config import HardwareConfig
+from repro.transmuter.counters import (
+    ECHO_COUNTERS,
+    PLAUSIBLE_BOUNDS,
+    PerformanceCounters,
+)
+
+__all__ = [
+    "STATE_NORMAL",
+    "STATE_SAFE",
+    "STATE_PROBE",
+    "HardeningConfig",
+    "CounterSanitizer",
+    "SafeModeMachine",
+]
+
+STATE_NORMAL = "normal"
+STATE_SAFE = "safe"
+STATE_PROBE = "probe"
+
+#: Counters whose value pinned exactly at the upper plausibility bound
+#: is fault evidence rather than a legitimate reading. Occupancies,
+#: IPCs, and DRAM utilizations are min()-clamped by the machine model
+#: and genuinely sit at 1.0; access rates, miss rates, prefetch ratios,
+#: and crossbar contention never legitimately hit their full-scale
+#: ceiling exactly.
+_FULL_SCALE_SUSPECT = frozenset(
+    (
+        "l1_access_rate",
+        "l1_miss_rate",
+        "l1_prefetch_ratio",
+        "l2_access_rate",
+        "l2_miss_rate",
+        "l2_prefetch_ratio",
+        "xbar_contention_ratio",
+    )
+)
+
+
+@dataclass(frozen=True)
+class HardeningConfig:
+    """Tunables of the hardened controller's defensive layer."""
+
+    enabled: bool = True
+    fault_streak_threshold: int = 3
+    recovery_epochs: int = 2
+    readback_retries: int = 1
+    stale_detection: bool = True
+    #: Substituted-counter count at which one epoch's telemetry is
+    #: considered *severely* corrupt. Only severe epochs (this many
+    #: substitutions, a stale vector, or a failed read-back) feed the
+    #: safe-mode fault streak: a couple of implausible counters are
+    #: repaired by last-known-good substitution and the repaired vector
+    #: is safe to adapt on, so degrading to the static config for them
+    #: would throw away adaptive gain for no protection.
+    severe_issue_count: int = 4
+
+    def __post_init__(self) -> None:
+        if self.fault_streak_threshold < 1:
+            raise ConfigError("fault_streak_threshold must be >= 1")
+        if self.recovery_epochs < 1:
+            raise ConfigError("recovery_epochs must be >= 1")
+        if self.readback_retries < 0:
+            raise ConfigError("readback_retries must be >= 0")
+        if self.severe_issue_count < 1:
+            raise ConfigError("severe_issue_count must be >= 1")
+
+    @staticmethod
+    def disabled() -> "HardeningConfig":
+        """The unhardened passthrough (no sanitization, no safe mode)."""
+        return HardeningConfig(enabled=False)
+
+
+class CounterSanitizer:
+    """Plausibility screen with last-known-good substitution.
+
+    :meth:`sanitize` returns the vector the decision layer should see
+    plus the list of issues found. Every implausible counter value is
+    replaced by the last value of that counter that passed screening
+    (or the midpoint of its plausible range before any clean reading
+    exists). Stale detection compares the full observed vector against
+    the previous epoch's observation — real telemetry jitters in every
+    field, so an exact repeat means the sample window was missed.
+    """
+
+    def __init__(self, config: HardeningConfig) -> None:
+        self.config = config
+        self._last_good: Dict[str, float] = {}
+        self._previous: Optional[Dict[str, float]] = None
+        self.n_substituted = 0
+
+    def _fallback(self, name: str) -> float:
+        if name in self._last_good:
+            return self._last_good[name]
+        low, high = PLAUSIBLE_BOUNDS[name]
+        return (low + high) / 2.0
+
+    def sanitize(
+        self,
+        counters: PerformanceCounters,
+        commanded: HardwareConfig,
+    ) -> Tuple[PerformanceCounters, List[Dict[str, object]]]:
+        """Screened counters plus the issues detected.
+
+        ``commanded`` is the configuration the host believes it set;
+        echo counters disagreeing with it are flagged (and the echo is
+        trusted over the belief only by the read-back logic, not here —
+        the sanitizer's job is detection and a clean feature vector).
+        """
+        values = counters.as_dict()
+        issues: List[Dict[str, object]] = []
+
+        if (
+            self.config.stale_detection
+            and self._previous is not None
+            and values == self._previous
+        ):
+            issues.append({"issue": "stale", "counters": sorted(values)})
+        self._previous = dict(values)
+
+        expected_echo = {
+            "l1_capacity_kb": float(commanded.l1_kb),
+            "l2_capacity_kb": float(commanded.l2_kb),
+            "clock_mhz": float(commanded.clock_mhz),
+        }
+        clean: Dict[str, float] = {}
+        for name, value in values.items():
+            issue: Optional[str] = None
+            if math.isnan(value) or math.isinf(value):
+                issue = "non_finite"
+            else:
+                low, high = PLAUSIBLE_BOUNDS[name]
+                if not low <= value <= high:
+                    issue = "out_of_range"
+                elif name in _FULL_SCALE_SUSPECT and value == high:
+                    issue = "full_scale_pin"
+            if issue is None and name in ECHO_COUNTERS:
+                if value != expected_echo[name]:
+                    # The echo is plausible but disagrees with what the
+                    # host commanded: report it, keep the echo (the
+                    # hardware is the ground truth for echoes).
+                    issues.append(
+                        {
+                            "issue": "echo_mismatch",
+                            "counter": name,
+                            "observed": value,
+                            "expected": expected_echo[name],
+                        }
+                    )
+            if issue is None:
+                clean[name] = value
+                self._last_good[name] = value
+            else:
+                substitute = self._fallback(name)
+                clean[name] = substitute
+                self.n_substituted += 1
+                issues.append(
+                    {
+                        "issue": issue,
+                        "counter": name,
+                        "observed": value,
+                        "substitute": substitute,
+                    }
+                )
+        if not issues:
+            return counters, issues
+        return PerformanceCounters(**clean), issues
+
+
+class SafeModeMachine:
+    """The ``normal -> safe -> probe`` degradation state machine.
+
+    Feed it one verdict per epoch via :meth:`observe`; read
+    :attr:`adapting` to decide whether the controller may run its
+    adaptive pipeline this epoch.
+
+    * ``normal``: adapt freely. ``fault_streak_threshold`` consecutive
+      faulty epochs enter ``safe``.
+    * ``safe``: hold the static safe configuration; no inference. After
+      ``recovery_epochs`` consecutive clean epochs, enter ``probe``.
+    * ``probe``: run one adaptive epoch. Clean -> back to ``normal``;
+      faulty -> straight back to ``safe``.
+    """
+
+    def __init__(self, config: HardeningConfig) -> None:
+        self.config = config
+        self.state = STATE_NORMAL
+        self.fault_streak = 0
+        self.clean_streak = 0
+        self.entries = 0
+        self.safe_epochs = 0
+
+    @property
+    def adapting(self) -> bool:
+        """Whether the adaptive pipeline runs this epoch."""
+        return self.state != STATE_SAFE
+
+    def observe(self, faulty: bool) -> Optional[str]:
+        """Advance one epoch; returns a transition name or ``None``.
+
+        Transition names: ``"enter"`` (into safe mode), ``"probe"``
+        (safe -> trial epoch), ``"exit"`` (probe succeeded, back to
+        normal), ``"reenter"`` (probe failed).
+        """
+        if faulty:
+            self.fault_streak += 1
+            self.clean_streak = 0
+        else:
+            self.fault_streak = 0
+            self.clean_streak += 1
+
+        if self.state == STATE_NORMAL:
+            if self.fault_streak >= self.config.fault_streak_threshold:
+                self.state = STATE_SAFE
+                self.entries += 1
+                return "enter"
+        elif self.state == STATE_SAFE:
+            self.safe_epochs += 1
+            if self.clean_streak >= self.config.recovery_epochs:
+                self.state = STATE_PROBE
+                return "probe"
+        else:  # probe
+            if faulty:
+                self.state = STATE_SAFE
+                self.entries += 1
+                return "reenter"
+            self.state = STATE_NORMAL
+            return "exit"
+        return None

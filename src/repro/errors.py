@@ -30,3 +30,7 @@ class ModelError(ReproError):
 
 class SimulationError(ReproError):
     """The machine model was driven with an invalid workload or state."""
+
+
+class FaultError(ReproError):
+    """A fault-injection spec, schedule, or campaign request is invalid."""

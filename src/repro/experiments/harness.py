@@ -33,6 +33,7 @@ from repro.baselines import (
     spm_variant,
 )
 from repro.core.controller import SparseAdaptController
+from repro.core.hardening import HardeningConfig
 from repro.core.model import SparseAdaptModel
 from repro.core.modes import OptimizationMode
 from repro.core.policies import (
@@ -43,6 +44,7 @@ from repro.core.policies import (
 from repro.core.schedule import ScheduleResult
 from repro.core.training import train_default_model
 from repro.errors import ConfigError
+from repro.faults.spec import FaultSchedule
 from repro.graph.bfs import bfs
 from repro.graph.sssp import sssp
 from repro.kernels import (
@@ -170,6 +172,11 @@ class EvaluationContext:
     n_samples: int = 64
     seed: int = 0
     profiling_epoch_trace: Optional[KernelTrace] = None
+    #: Fault injection for the SparseAdapt scheme (static baselines and
+    #: table-driven upper bounds model the fault-free machine; faults
+    #: only exist on the closed control loop).
+    faults: Optional[FaultSchedule] = None
+    hardening: Optional[HardeningConfig] = None
 
     def static_points(self) -> Dict[str, HardwareConfig]:
         if self.l1_type == "cache":
@@ -243,6 +250,8 @@ def evaluate_schemes(
                 mode=context.mode,
                 policy=context.policy,
                 initial_config=statics["Baseline"],
+                faults=context.faults,
+                hardening=context.hardening,
             )
             result = controller.run(context.trace)
             result.scheme = name

@@ -1,0 +1,41 @@
+"""Deterministic fault injection for robustness studies.
+
+The package splits *description* from *execution*: a
+:class:`FaultSchedule` is a frozen, serializable description of what
+goes wrong (which fault kinds, at what per-epoch rates, how severe,
+over which epoch windows), and a :class:`FaultInjector` is the stateful
+seeded executor a controller run drives. The same schedule + seed
+always reproduces the same faults.
+
+See ``docs/robustness.md`` for the fault taxonomy, the on-disk spec
+format, and a campaign walkthrough.
+"""
+
+from repro.faults.campaign import CampaignResult, format_campaign_table, run_campaign
+from repro.faults.injector import FaultInjector, InjectedFault
+from repro.faults.spec import (
+    COUNTER_FAULTS,
+    FAULT_KINDS,
+    MACHINE_FAULTS,
+    RECONFIG_FAULTS,
+    FaultSchedule,
+    FaultSpec,
+    mixed_schedule,
+    noise_schedule,
+)
+
+__all__ = [
+    "COUNTER_FAULTS",
+    "FAULT_KINDS",
+    "MACHINE_FAULTS",
+    "RECONFIG_FAULTS",
+    "CampaignResult",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "InjectedFault",
+    "format_campaign_table",
+    "mixed_schedule",
+    "noise_schedule",
+    "run_campaign",
+]

@@ -1,0 +1,183 @@
+"""Fault campaigns: sweep a schedule's rates, report gain degradation.
+
+A campaign answers the deployment question "how much of the adaptive
+gain survives as the machine gets flakier?". One base
+:class:`~repro.faults.spec.FaultSchedule` is scaled to several rate
+factors; at every factor the controller runs the same kernel trace —
+hardened and (optionally) unhardened — and each row reports the
+efficiency gain over the static BASELINE plus how much of the clean
+adaptive gain is retained. Everything is seeded, so the same schedule
+and seed produce byte-identical campaign results (the CI determinism
+guard relies on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.hardening import HardeningConfig
+from repro.core.modes import OptimizationMode
+from repro.errors import FaultError
+from repro.faults.spec import FaultSchedule
+
+__all__ = ["CampaignResult", "run_campaign", "format_campaign_table"]
+
+
+@dataclass
+class CampaignResult:
+    """Degradation sweep of one schedule over one kernel trace."""
+
+    kernel: str
+    matrix_id: str
+    mode: str
+    schedule: dict
+    baseline_gflops_per_watt: float
+    clean_gain: float
+    rows: List[dict] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "matrix_id": self.matrix_id,
+            "mode": self.mode,
+            "schedule": self.schedule,
+            "baseline_gflops_per_watt": self.baseline_gflops_per_watt,
+            "clean_gain": self.clean_gain,
+            "rows": self.rows,
+        }
+
+
+def _retention(gain: float, clean_gain: float) -> Optional[float]:
+    """Fraction of the clean *excess* gain over BASELINE retained."""
+    if clean_gain <= 1.0:
+        return None
+    return (gain - 1.0) / (clean_gain - 1.0)
+
+
+def run_campaign(
+    schedule: FaultSchedule,
+    rates: Sequence[float] = (0.0, 0.25, 0.5, 1.0),
+    kernel: str = "spmspv",
+    matrix_id: str = "P3",
+    scale: float = 0.3,
+    mode: OptimizationMode = OptimizationMode.ENERGY_EFFICIENT,
+    hardening: Optional[HardeningConfig] = None,
+    include_unhardened: bool = True,
+) -> CampaignResult:
+    """Sweep ``schedule`` scaled by every factor in ``rates``.
+
+    ``rates`` are multipliers on the schedule's per-spec fire rates
+    (1.0 = the schedule as written, 0.0 = fault-free). The row metric
+    is the efficiency gain (GFLOPS/W over BASELINE) in Energy-Efficient
+    mode and the performance gain (GFLOPS over BASELINE) in
+    Power-Performance mode.
+    """
+    # Imported here: the harness sits above repro.faults in the layer
+    # order (the controller imports the fault modules).
+    from repro.baselines import BASELINE, run_static
+    from repro.core.controller import SparseAdaptController
+    from repro.core.training import train_default_model
+    from repro.experiments.harness import build_trace, default_policy_for
+    from repro.transmuter.machine import TransmuterModel
+
+    if not isinstance(schedule, FaultSchedule):
+        raise FaultError(
+            f"expected a FaultSchedule, got {type(schedule).__name__}"
+        )
+    if len(rates) == 0:
+        raise FaultError("campaign needs at least one rate factor")
+    for factor in rates:
+        if not isinstance(factor, (int, float)) or factor < 0:
+            raise FaultError(
+                f"rate factors must be non-negative numbers, got {factor!r}"
+            )
+
+    machine = TransmuterModel()
+    model = train_default_model(mode, kernel=kernel)
+    trace = build_trace(kernel, matrix_id, scale=scale)
+    baseline = run_static(machine, trace, BASELINE)
+
+    def metric(result) -> float:
+        if mode is OptimizationMode.ENERGY_EFFICIENT:
+            return result.gflops_per_watt / baseline.gflops_per_watt
+        return result.gflops / baseline.gflops
+
+    def controlled(faults, harden_config):
+        controller = SparseAdaptController(
+            model=model,
+            machine=machine,
+            mode=mode,
+            policy=default_policy_for(kernel),
+            initial_config=BASELINE,
+            faults=faults,
+            hardening=harden_config,
+        )
+        result = controller.run(trace)
+        return result, controller.last_run_stats
+
+    clean_result, _ = controlled(None, HardeningConfig.disabled())
+    clean_gain = metric(clean_result)
+
+    result = CampaignResult(
+        kernel=kernel,
+        matrix_id=matrix_id,
+        mode=mode.value,
+        schedule=schedule.as_dict(),
+        baseline_gflops_per_watt=baseline.gflops_per_watt,
+        clean_gain=clean_gain,
+    )
+    for factor in rates:
+        scaled = schedule.scaled(factor)
+        faults = scaled if len(scaled) else None
+        row: Dict[str, object] = {
+            "rate_scale": float(factor),
+            "rates": {
+                f"{spec.kind}[{i}]": spec.rate
+                for i, spec in enumerate(scaled.specs)
+            },
+        }
+        for label, harden_config in (
+            ("hardened", hardening or HardeningConfig()),
+            ("unhardened", HardeningConfig.disabled()),
+        ):
+            if label == "unhardened" and not include_unhardened:
+                continue
+            run, stats = controlled(faults, harden_config)
+            gain = metric(run)
+            row[label] = {
+                "gain": gain,
+                "retention": _retention(gain, clean_gain),
+                "reconfigurations": run.n_reconfigurations,
+                **(stats or {}),
+            }
+        result.rows.append(row)
+    return result
+
+
+def format_campaign_table(result: CampaignResult) -> str:
+    """Render a campaign as the ``repro faults`` degradation table."""
+    lines = [
+        f"Fault campaign — {result.kernel} {result.matrix_id} "
+        f"({result.mode} mode)",
+        f"clean adaptive gain over BASELINE: {result.clean_gain:6.3f}x",
+        "",
+        f"{'rate':>6}  {'variant':<10} {'gain':>7} {'retain':>7} "
+        f"{'inj':>5} {'det':>5} {'safe-ep':>7} {'reconf':>6}",
+    ]
+    for row in result.rows:
+        for label in ("hardened", "unhardened"):
+            stats = row.get(label)
+            if stats is None:
+                continue
+            retention = stats["retention"]
+            lines.append(
+                f"{row['rate_scale']:>6.2f}  {label:<10} "
+                f"{stats['gain']:>6.3f}x "
+                f"{('  n/a' if retention is None else f'{retention:6.1%}'):>7} "
+                f"{stats['n_faults_injected']:>5d} "
+                f"{stats['n_faults_detected']:>5d} "
+                f"{stats['safe_epochs']:>7d} "
+                f"{stats['reconfigurations']:>6d}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,266 @@
+"""Deterministic runtime interpretation of a :class:`FaultSchedule`.
+
+A :class:`FaultInjector` owns one private RNG stream per spec (derived
+from the schedule seed and the spec position, or pinned by the spec's
+own ``seed``), so adding, removing, or reordering unrelated specs never
+perturbs another spec's draws, and the same schedule + seed always
+produces the same faults on the same run.
+
+The controller drives the injector at three points of every epoch:
+
+1. :meth:`environment` — *before* the epoch is simulated: transient
+   machine events (bandwidth throttle, thermal clamp) become an
+   :class:`~repro.transmuter.machine.EpochEnvironment`;
+2. :meth:`observe` — *after* the epoch: counter faults corrupt the
+   telemetry the host reads;
+3. :meth:`reconfig_failures` — at the decision boundary: which of the
+   commanded parameter changes silently fail to land
+   (:func:`repro.transmuter.reconfig.apply_transition` then reports the
+   configuration the hardware actually reached).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FaultError
+from repro.faults.spec import (
+    COUNTER_FAULTS,
+    MACHINE_FAULTS,
+    RECONFIG_FAULTS,
+    FaultSchedule,
+)
+from repro.transmuter.config import RUNTIME_PARAMETERS, HardwareConfig
+from repro.transmuter.counters import (
+    ECHO_COUNTERS,
+    PLAUSIBLE_BOUNDS,
+    PerformanceCounters,
+)
+from repro.transmuter.machine import EpochEnvironment
+
+__all__ = ["InjectedFault", "FaultInjector"]
+
+#: Bandwidth is never throttled below this remaining fraction — a DRAM
+#: channel in a refresh storm still makes forward progress.
+MIN_BANDWIDTH_REMAINING = 0.05
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault occurrence, for reporting and trace payloads."""
+
+    epoch: int
+    kind: str
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"epoch": self.epoch, "kind": self.kind, **self.detail}
+
+
+class FaultInjector:
+    """Stateful, seeded executor of one fault schedule."""
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        if not isinstance(schedule, FaultSchedule):
+            raise FaultError(
+                f"expected a FaultSchedule, got {type(schedule).__name__}"
+            )
+        self.schedule = schedule
+        self._rngs = [
+            np.random.default_rng(
+                spec.seed
+                if spec.seed is not None
+                else [schedule.seed, index]
+            )
+            for index, spec in enumerate(schedule.specs)
+        ]
+        enumerated = list(enumerate(schedule.specs))
+        self._counter_specs = [
+            (i, s) for i, s in enumerated if s.kind in COUNTER_FAULTS
+        ]
+        self._reconfig_specs = [
+            (i, s) for i, s in enumerated if s.kind in RECONFIG_FAULTS
+        ]
+        self._machine_specs = [
+            (i, s) for i, s in enumerated if s.kind in MACHINE_FAULTS
+        ]
+        #: Machine-event windows: spec index -> first epoch *past* the window.
+        self._active_until = {i: 0 for i, _ in self._machine_specs}
+        self._previous_raw: Optional[Dict[str, float]] = None
+        self.injected: List[InjectedFault] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def n_injected(self) -> int:
+        return len(self.injected)
+
+    def counts(self) -> Dict[str, int]:
+        """Injected fault occurrences by kind."""
+        out: Dict[str, int] = {}
+        for fault in self.injected:
+            out[fault.kind] = out.get(fault.kind, 0) + 1
+        return out
+
+    def _fires(self, index: int, spec, epoch: int) -> bool:
+        """Whether ``spec`` fires at ``epoch``; a rate of 1.0 burns no draw."""
+        if not spec.applies_to(epoch):
+            return False
+        if spec.rate >= 1.0:
+            return True
+        return float(self._rngs[index].random()) < spec.rate
+
+    def _record(self, epoch: int, kind: str, **detail) -> InjectedFault:
+        fault = InjectedFault(epoch=epoch, kind=kind, detail=detail)
+        self.injected.append(fault)
+        return fault
+
+    # ------------------------------------------------------------------
+    # 1. Machine events (before the epoch runs)
+    # ------------------------------------------------------------------
+    def environment(self, epoch: int) -> Optional[EpochEnvironment]:
+        """Transient machine conditions for this epoch, or ``None``.
+
+        Call exactly once per epoch, in epoch order: event windows are
+        stateful (a fired event stays active for its ``duration``), and
+        new onset draws happen only outside an active window.
+        """
+        bandwidth_scale = 1.0
+        clock_cap: Optional[float] = None
+        for index, spec in self._machine_specs:
+            active = epoch < self._active_until[index]
+            if not active and self._fires(index, spec, epoch):
+                duration = int(spec.params.get("duration", 3))
+                self._active_until[index] = epoch + duration
+                active = True
+                self._record(epoch, spec.kind, duration=duration)
+            if not active:
+                continue
+            if spec.kind == "bandwidth_throttle":
+                remaining = max(
+                    MIN_BANDWIDTH_REMAINING, 1.0 - spec.severity
+                )
+                bandwidth_scale = min(bandwidth_scale, remaining)
+            else:  # thermal_clamp
+                clamp = float(spec.params.get("clamp_mhz", 250.0))
+                clock_cap = clamp if clock_cap is None else min(clock_cap, clamp)
+        if bandwidth_scale == 1.0 and clock_cap is None:
+            return None
+        return EpochEnvironment(
+            bandwidth_scale=bandwidth_scale, clock_cap_mhz=clock_cap
+        )
+
+    # ------------------------------------------------------------------
+    # 2. Counter faults (the telemetry the host reads)
+    # ------------------------------------------------------------------
+    def observe(
+        self, epoch: int, counters: PerformanceCounters
+    ) -> Tuple[PerformanceCounters, List[InjectedFault]]:
+        """The counter vector as the host sees it, plus faults fired.
+
+        Specs apply in schedule order, so later specs compose on top of
+        earlier ones. ``counter_stale`` replays the *raw* (pre-fault)
+        vector of the previous epoch — the latch contents a missed
+        sample window would return.
+        """
+        values = counters.as_dict()
+        previous = self._previous_raw
+        self._previous_raw = dict(values)
+        fired: List[InjectedFault] = []
+        for index, spec in self._counter_specs:
+            if not self._fires(index, spec, epoch):
+                continue
+            rng = self._rngs[index]
+            if spec.kind == "counter_noise":
+                for name in list(values):
+                    if name in ECHO_COUNTERS:
+                        continue
+                    factor = 1.0 + rng.normal(0.0, spec.severity)
+                    values[name] = max(0.0, values[name] * factor)
+                fired.append(
+                    self._record(epoch, spec.kind, sigma=spec.severity)
+                )
+            elif spec.kind == "counter_dropout":
+                mode = spec.params.get("mode", "nan")
+                lost = [
+                    name
+                    for name in values
+                    if name not in ECHO_COUNTERS
+                    and float(rng.random()) < spec.severity
+                ]
+                for name in lost:
+                    values[name] = float("nan") if mode == "nan" else 0.0
+                if lost:
+                    fired.append(
+                        self._record(
+                            epoch, spec.kind, counters=lost, mode=mode
+                        )
+                    )
+            elif spec.kind == "counter_saturation":
+                pinned = [
+                    name
+                    for name in values
+                    if float(rng.random()) < spec.severity
+                ]
+                for name in pinned:
+                    values[name] = PLAUSIBLE_BOUNDS[name][1]
+                if pinned:
+                    fired.append(
+                        self._record(epoch, spec.kind, counters=pinned)
+                    )
+            else:  # counter_stale
+                if previous is not None:
+                    values = dict(previous)
+                    fired.append(self._record(epoch, spec.kind))
+        if not fired:
+            return counters, fired
+        return PerformanceCounters(**values), fired
+
+    # ------------------------------------------------------------------
+    # 3. Reconfiguration faults (the command/apply boundary)
+    # ------------------------------------------------------------------
+    def reconfig_failures(
+        self,
+        epoch: int,
+        current: HardwareConfig,
+        target: HardwareConfig,
+        attempt: int = 0,
+    ) -> Tuple[str, ...]:
+        """Commanded parameter changes that silently fail to land.
+
+        Each call is one command attempt; a hardened controller's
+        read-back retry calls again with ``attempt`` incremented and
+        gets a fresh draw (a transient apply failure can succeed on
+        retry; a persistent one keeps failing).
+        """
+        changed = [
+            name
+            for name in RUNTIME_PARAMETERS
+            if current.get(name) != target.get(name)
+        ]
+        if not changed:
+            return ()
+        dropped: set = set()
+        for index, spec in self._reconfig_specs:
+            if not self._fires(index, spec, epoch):
+                continue
+            rng = self._rngs[index]
+            if spec.kind == "reconfig_drop":
+                failed = list(changed)
+            else:  # reconfig_partial
+                failed = [
+                    name
+                    for name in changed
+                    if float(rng.random()) < spec.severity
+                ]
+            if failed:
+                dropped.update(failed)
+                self._record(
+                    epoch,
+                    spec.kind,
+                    parameters=failed,
+                    attempt=attempt,
+                )
+        return tuple(name for name in RUNTIME_PARAMETERS if name in dropped)

@@ -22,18 +22,34 @@ from repro.transmuter.config import (
     sample_configs,
     space_size,
 )
-from repro.transmuter.counters import COUNTER_GROUPS, PerformanceCounters
+from repro.transmuter.counters import (
+    COUNTER_GROUPS,
+    ECHO_COUNTERS,
+    PLAUSIBLE_BOUNDS,
+    PerformanceCounters,
+)
 from repro.transmuter.detailed import (
     DetailedResult,
     simulate_epoch_detailed,
     synthesize_trace,
 )
-from repro.transmuter.dvfs import OperatingPoint, operating_point, voltage_for_frequency
-from repro.transmuter.machine import EpochResult, TransmuterModel
+from repro.transmuter.dvfs import (
+    OperatingPoint,
+    clamp_frequency,
+    operating_point,
+    voltage_for_frequency,
+)
+from repro.transmuter.machine import (
+    EpochEnvironment,
+    EpochResult,
+    TransmuterModel,
+)
 from repro.transmuter.memory import MemorySystem
 from repro.transmuter.power import EnergyBreakdown, PowerModel
 from repro.transmuter.reconfig import (
+    AppliedTransition,
     ReconfigCost,
+    apply_transition,
     change_granularity,
     changed_parameters,
     parameter_change_cost,
@@ -50,6 +66,12 @@ from repro.transmuter.workload import (
 
 __all__ = [
     "params",
+    "EpochEnvironment",
+    "ECHO_COUNTERS",
+    "PLAUSIBLE_BOUNDS",
+    "AppliedTransition",
+    "apply_transition",
+    "clamp_frequency",
     "HardwareConfig",
     "full_space",
     "runtime_space",

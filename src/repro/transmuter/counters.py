@@ -13,7 +13,12 @@ from typing import Dict, List
 
 import numpy as np
 
-__all__ = ["PerformanceCounters", "COUNTER_GROUPS"]
+__all__ = [
+    "PerformanceCounters",
+    "COUNTER_GROUPS",
+    "ECHO_COUNTERS",
+    "PLAUSIBLE_BOUNDS",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +63,39 @@ class PerformanceCounters:
         """Counter values keyed by name."""
         return {f.name: float(getattr(self, f.name)) for f in fields(self)}
 
+
+#: Counters that merely echo the commanded configuration back to the
+#: host. They are exact in a healthy machine, which is what makes an
+#: echo/requested mismatch a cheap hardware-fault detector.
+ECHO_COUNTERS: tuple = ("l1_capacity_kb", "l2_capacity_kb", "clock_mhz")
+
+#: Physically plausible ``(low, high)`` range per counter. Rates are
+#: per-cycle-per-bank and cannot exceed one issue slot by much even
+#: with prefetch traffic folded in; ratios and utilizations live in
+#: [0, 1]; capacities and clocks are bounded by the Table-1 space. The
+#: counter sanitizer treats values outside these ranges (and values
+#: pinned exactly at full scale, for counters that cannot legitimately
+#: sit there) as fault evidence.
+PLAUSIBLE_BOUNDS: Dict[str, tuple] = {
+    "l1_access_rate": (0.0, 4.0),
+    "l1_occupancy": (0.0, 1.0),
+    "l1_miss_rate": (0.0, 1.0),
+    "l1_prefetch_ratio": (0.0, 8.0),
+    "l1_capacity_kb": (4.0, 64.0),
+    "l2_access_rate": (0.0, 4.0),
+    "l2_occupancy": (0.0, 1.0),
+    "l2_miss_rate": (0.0, 1.0),
+    "l2_prefetch_ratio": (0.0, 8.0),
+    "l2_capacity_kb": (4.0, 64.0),
+    "xbar_contention_ratio": (0.0, 1.0),
+    "gpe_ipc": (0.0, 1.0),
+    "gpe_fp_ipc": (0.0, 1.0),
+    "lcp_ipc": (0.0, 1.0),
+    "lcp_fp_ipc": (0.0, 1.0),
+    "clock_mhz": (31.25, 1000.0),
+    "dram_read_utilization": (0.0, 1.0),
+    "dram_write_utilization": (0.0, 1.0),
+}
 
 #: Counter-class grouping used by the Figure-10 feature-importance study.
 COUNTER_GROUPS: Dict[str, str] = {

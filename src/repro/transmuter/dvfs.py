@@ -20,7 +20,12 @@ from dataclasses import dataclass
 from repro.errors import ConfigError
 from repro.transmuter import params
 
-__all__ = ["OperatingPoint", "voltage_for_frequency", "operating_point"]
+__all__ = [
+    "OperatingPoint",
+    "voltage_for_frequency",
+    "operating_point",
+    "clamp_frequency",
+]
 
 
 @dataclass(frozen=True)
@@ -56,6 +61,20 @@ def voltage_for_frequency(
     half_b = (2.0 * v_threshold + k) / 2.0
     root = half_b + math.sqrt(max(half_b * half_b - v_threshold**2, 0.0))
     return max(root, params.V_MIN_RATIO * v_threshold)
+
+
+def clamp_frequency(frequency_mhz: float, cap_mhz: float) -> float:
+    """The frequency actually delivered under a thermal DVFS clamp.
+
+    A clamp window caps the clock divider: the machine runs at the
+    commanded frequency when it is at or below the cap, otherwise at
+    the cap itself (the clamp hardware selects the fastest allowed
+    divider setting, and every cap used by the fault model is itself a
+    Table-1 clock step).
+    """
+    if cap_mhz <= 0:
+        raise ConfigError(f"clamp frequency must be positive, got {cap_mhz}")
+    return min(frequency_mhz, cap_mhz)
 
 
 def operating_point(frequency_mhz: float) -> OperatingPoint:

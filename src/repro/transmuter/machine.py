@@ -26,12 +26,53 @@ from repro.transmuter.cache_model import LevelBehaviour, LevelInputs, model_leve
 from repro.transmuter.config import HardwareConfig
 from repro.transmuter.counters import PerformanceCounters
 from repro.transmuter.crossbar import model_crossbar
-from repro.transmuter.dvfs import OperatingPoint, operating_point
+from repro.transmuter.config import CLOCKS_MHZ
+from repro.transmuter.dvfs import OperatingPoint, clamp_frequency, operating_point
 from repro.transmuter.memory import MemorySystem
 from repro.transmuter.power import EnergyBreakdown, PowerModel
 from repro.transmuter.workload import EpochWorkload
 
-__all__ = ["EpochResult", "TransmuterModel"]
+__all__ = ["EpochEnvironment", "EpochResult", "TransmuterModel"]
+
+
+@dataclass(frozen=True)
+class EpochEnvironment:
+    """Transient machine-level conditions for one epoch.
+
+    A healthy epoch runs without an environment (``None``); fault
+    injection supplies one to model events the controller did not
+    command: HBM bandwidth throttling (``bandwidth_scale < 1``) and a
+    thermal DVFS clamp window (``clock_cap_mhz``). The performance
+    counters of a degraded epoch echo the *effective* clock, which is
+    how a hardened controller can notice the clamp.
+    """
+
+    bandwidth_scale: float = 1.0
+    clock_cap_mhz: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.bandwidth_scale <= 1.0:
+            raise SimulationError(
+                f"bandwidth_scale must be in (0, 1], got {self.bandwidth_scale}"
+            )
+        if self.clock_cap_mhz is not None and self.clock_cap_mhz not in CLOCKS_MHZ:
+            raise SimulationError(
+                f"clock_cap_mhz must be a Table-1 clock step, "
+                f"got {self.clock_cap_mhz!r}"
+            )
+
+    @property
+    def is_nominal(self) -> bool:
+        return self.bandwidth_scale == 1.0 and self.clock_cap_mhz is None
+
+    def constrain(self, config: HardwareConfig) -> HardwareConfig:
+        """The configuration the hardware effectively runs under."""
+        if self.clock_cap_mhz is None:
+            return config
+        effective = clamp_frequency(config.clock_mhz, self.clock_cap_mhz)
+        if effective == config.clock_mhz:
+            return config
+        return config.with_value("clock_mhz", effective)
 
 
 @dataclass(frozen=True)
@@ -218,9 +259,24 @@ class TransmuterModel:
     # Epoch simulation
     # ------------------------------------------------------------------
     def simulate_epoch(
-        self, workload: EpochWorkload, config: HardwareConfig
+        self,
+        workload: EpochWorkload,
+        config: HardwareConfig,
+        environment: Optional[EpochEnvironment] = None,
     ) -> EpochResult:
-        """Predict time, energy, and counters for one epoch."""
+        """Predict time, energy, and counters for one epoch.
+
+        ``environment`` models transient machine events (bandwidth
+        throttling, thermal clock clamps) the controller did not
+        command; the epoch then runs under the *effective* conditions
+        and its counters echo them. ``None`` (the default) is the
+        healthy fast path and leaves the modeled numbers untouched.
+        """
+        memory = self.memory
+        if environment is not None:
+            config = environment.constrain(config)
+            if environment.bandwidth_scale != 1.0:
+                memory = memory.scaled(environment.bandwidth_scale)
         point = operating_point(config.clock_mhz)
         frequency_hz = config.clock_mhz * 1e6
 
@@ -255,7 +311,7 @@ class TransmuterModel:
         )
 
         # Stall cycles (global, then distributed over GPEs).
-        dram_latency = self.memory.latency_cycles(config.clock_mhz)
+        dram_latency = memory.latency_cycles(config.clock_mhz)
         l2_hit_latency = params.L2_LATENCY + xbar2.extra_latency_cycles
         l2_hits = l1.misses * l2.hit_rate
         l2_misses = l1.misses - l2_hits
@@ -286,9 +342,9 @@ class TransmuterModel:
         evict_bytes = line * l2.misses * store_fraction * 0.5
         write_bytes = workload.write_bytes + evict_bytes
 
-        memory_time = (read_bytes + write_bytes) / self.memory.bandwidth_bytes_per_s
+        memory_time = (read_bytes + write_bytes) / memory.bandwidth_bytes_per_s
         elapsed = _soft_roofline(core_time, memory_time)
-        memory_io = self.memory.transfer(read_bytes, write_bytes, elapsed)
+        memory_io = memory.transfer(read_bytes, write_bytes, elapsed)
 
         energy = self.power.epoch_energy(
             config=config,

@@ -45,6 +45,20 @@ class MemorySystem:
         self.latency_s = latency_s
         self.energy_per_byte = energy_per_byte
 
+    def scaled(self, factor: float) -> "MemorySystem":
+        """A copy with the bandwidth scaled by ``factor`` (same latency
+        and per-byte energy). Used to model transient bandwidth
+        throttling events without mutating the shared memory system."""
+        if not 0.0 < factor <= 1.0:
+            raise SimulationError(
+                f"bandwidth scale factor must be in (0, 1], got {factor}"
+            )
+        return MemorySystem(
+            bandwidth_gbps=self.bandwidth_bytes_per_s * factor / 1e9,
+            latency_s=self.latency_s,
+            energy_per_byte=self.energy_per_byte,
+        )
+
     def transfer(
         self, read_bytes: float, write_bytes: float, elapsed_s: float
     ) -> MemoryBehaviour:

@@ -35,10 +35,12 @@ __all__ = [
     "GRANULARITY_SUPER_FINE",
     "GRANULARITY_FINE",
     "GRANULARITY_COARSE",
+    "AppliedTransition",
     "ReconfigCost",
     "changed_parameters",
     "change_granularity",
     "reconfiguration_cost",
+    "apply_transition",
     "parameter_change_cost",
 ]
 
@@ -220,6 +222,67 @@ def reconfiguration_cost(
         flushed_l1=flush_l1,
         flushed_l2=flush_l2,
         changed=tuple(changed),
+    )
+
+
+@dataclass(frozen=True)
+class AppliedTransition:
+    """Outcome of commanding a configuration transition.
+
+    ``actual`` is the configuration the hardware ends up in — equal to
+    ``requested`` on a healthy machine, but under fault injection some
+    commanded parameter changes can silently fail to land (``dropped``),
+    in which case those parameters keep their old values. The cost is
+    computed on the *actual* transition: a change that never happened
+    is not paid for.
+    """
+
+    requested: HardwareConfig
+    actual: HardwareConfig
+    cost: ReconfigCost
+    dropped: Tuple[str, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        """Whether every commanded change landed."""
+        return not self.dropped
+
+
+def apply_transition(
+    old: HardwareConfig,
+    requested: HardwareConfig,
+    power: PowerModel,
+    bandwidth_gbps: float = params.DEFAULT_BANDWIDTH_GBPS,
+    dirty_bytes_hint: Optional[float] = None,
+    drop_parameters: Tuple[str, ...] = (),
+    allow_memory_mode: bool = False,
+) -> AppliedTransition:
+    """Command a transition and report what the hardware actually did.
+
+    ``drop_parameters`` names runtime parameters whose commanded change
+    silently fails (supplied by a fault injector); they revert to their
+    ``old`` values in the resulting configuration. Without drops this
+    is :func:`reconfiguration_cost` wrapped in an
+    :class:`AppliedTransition`.
+    """
+    actual = requested
+    dropped = tuple(
+        name
+        for name in drop_parameters
+        if old.get(name) != requested.get(name)
+    )
+    for name in dropped:
+        actual = actual.with_value(name, old.get(name))
+    cost = reconfiguration_cost(
+        old,
+        actual,
+        power,
+        bandwidth_gbps,
+        dirty_bytes_hint=dirty_bytes_hint,
+        allow_memory_mode=allow_memory_mode,
+    )
+    return AppliedTransition(
+        requested=requested, actual=actual, cost=cost, dropped=dropped
     )
 
 

@@ -349,3 +349,175 @@ class TestExplainAndDiffCommands:
         out = capsys.readouterr().out
         assert "p50/p90/p99" in out
         assert "min/max" in out
+
+
+class TestFaultsCommand:
+    CAMPAIGN = [
+        "faults", "--mixed", "0.2", "--rates", "0,1",
+        "--kernel", "spmspv", "--matrix", "P1", "--scale", "0.15",
+    ]
+
+    def _assert_one_line_error(self, capsys, argv):
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+        return err
+
+    def test_mixed_campaign_table(self, capsys):
+        assert main(self.CAMPAIGN) == 0
+        out = capsys.readouterr().out
+        assert "Fault campaign" in out
+        assert "hardened" in out
+        assert "unhardened" in out
+        assert "retain" in out
+
+    def test_campaign_json_and_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "campaign.json"
+        assert main(self.CAMPAIGN + ["--json", "--out", str(artifact)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == json.loads(artifact.read_text())
+        assert payload["kernel"] == "spmspv"
+        assert len(payload["rows"]) == 2
+        fault_free, faulty = payload["rows"]
+        assert fault_free["hardened"]["retention"] == 1.0
+        assert faulty["hardened"]["n_faults_injected"] > 0
+
+    def test_campaign_artifact_is_deterministic(self, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main(self.CAMPAIGN + ["--out", str(first)]) == 0
+        assert main(self.CAMPAIGN + ["--out", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_spec_file_campaign(self, tmp_path, capsys):
+        from repro.faults import mixed_schedule
+
+        spec = tmp_path / "schedule.json"
+        mixed_schedule(0.2, seed=3).save(spec)
+        assert (
+            main(
+                [
+                    "faults", str(spec), "--rates", "1",
+                    "--kernel", "spmspv", "--matrix", "P1",
+                    "--scale", "0.15", "--no-unhardened",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "hardened" in out
+        assert "unhardened" not in out
+
+    def test_negative_mixed_rate(self, capsys):
+        err = self._assert_one_line_error(
+            capsys, ["faults", "--mixed", "-0.1"]
+        )
+        assert "rate" in err
+
+    def test_spec_and_mixed_conflict(self, tmp_path, capsys):
+        spec = tmp_path / "s.json"
+        spec.write_text('{"faults": []}')
+        self._assert_one_line_error(
+            capsys, ["faults", str(spec), "--mixed", "0.1"]
+        )
+
+    def test_neither_spec_nor_mixed(self, capsys):
+        self._assert_one_line_error(capsys, ["faults"])
+
+    def test_missing_spec_file(self, capsys):
+        self._assert_one_line_error(
+            capsys, ["faults", "/nonexistent/spec.json"]
+        )
+
+    def test_malformed_spec_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{oops")
+        err = self._assert_one_line_error(capsys, ["faults", str(bad)])
+        assert "malformed" in err
+
+    def test_unknown_fault_kind_in_spec(self, tmp_path, capsys):
+        bad = tmp_path / "unknown.json"
+        bad.write_text(json.dumps({"faults": [{"kind": "gamma_burst"}]}))
+        err = self._assert_one_line_error(capsys, ["faults", str(bad)])
+        assert "gamma_burst" in err
+
+    def test_malformed_rates_list(self, capsys):
+        self._assert_one_line_error(
+            capsys, ["faults", "--mixed", "0.1", "--rates", "0,fast"]
+        )
+        self._assert_one_line_error(
+            capsys, ["faults", "--mixed", "0.1", "--rates", ","]
+        )
+        self._assert_one_line_error(
+            capsys, ["faults", "--mixed", "0.1", "--rates", "0,-1"]
+        )
+
+
+class TestRunFaultArguments:
+    def test_negative_noise_is_one_line_error(self, capsys):
+        assert main(["run", "--noise", "-0.5"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_noise_and_faults_conflict(self, tmp_path, capsys):
+        spec = tmp_path / "s.json"
+        spec.write_text('{"faults": []}')
+        assert (
+            main(["run", "--noise", "0.1", "--faults", str(spec)]) == 1
+        )
+        assert "not both" in capsys.readouterr().err
+
+    def test_run_with_fault_schedule(self, tmp_path, capsys):
+        from repro.faults import mixed_schedule
+
+        spec = tmp_path / "schedule.json"
+        mixed_schedule(0.3, seed=5).save(spec)
+        assert (
+            main(
+                [
+                    "run", "--kernel", "spmspv", "--matrix", "P1",
+                    "--scale", "0.15", "--faults", str(spec), "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["faults"]["seed"] == 5
+        assert payload["faults"]["hardened"] is True
+        assert "SparseAdapt" in payload["schemes"]
+
+    def test_run_bad_spec_is_one_line_error(self, capsys):
+        assert main(["run", "--faults", "/nonexistent.json"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_trace_with_faults_records_fault_events(self, tmp_path, capsys):
+        from repro.faults import mixed_schedule
+
+        spec = tmp_path / "schedule.json"
+        mixed_schedule(0.4, seed=1).save(spec)
+        trace_path = tmp_path / "faulty.jsonl"
+        assert (
+            main(
+                [
+                    "trace", "--kernel", "spmspv", "--matrix", "P1",
+                    "--scale", "0.15", "--faults", str(spec),
+                    "--trace-out", str(trace_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        names = {
+            record["name"]
+            for record in map(
+                json.loads, trace_path.read_text().splitlines()
+            )
+            if record.get("type") == "event"
+        }
+        assert "fault.injected" in names
+        assert "controller.start" in names

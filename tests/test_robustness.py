@@ -1,13 +1,33 @@
-"""Tests for telemetry-noise robustness, energy breakdown aggregation,
-and the element-wise sparse operations."""
+"""Tests for telemetry-noise robustness, the hardened controller
+(sanitization, read-back, safe mode), fault campaigns, energy breakdown
+aggregation, and the element-wise sparse operations."""
+
+import math
 
 import numpy as np
 import pytest
 
-from repro.core import HybridPolicy, OptimizationMode, SparseAdaptController
-from repro.errors import ConfigError, ShapeError
+from repro import obs
+from repro.baselines import BASELINE
+from repro.core import (
+    CounterSanitizer,
+    HardeningConfig,
+    HybridPolicy,
+    OptimizationMode,
+    SafeModeMachine,
+    SparseAdaptController,
+)
+from repro.errors import ConfigError, FaultError, ShapeError
+from repro.faults import (
+    FaultSchedule,
+    FaultSpec,
+    mixed_schedule,
+    noise_schedule,
+    run_campaign,
+)
 from repro.sparse import COOMatrix, generators
 from repro.sparse.ops import hadamard, sparse_add
+from repro.transmuter.counters import PerformanceCounters
 
 EE = OptimizationMode.ENERGY_EFFICIENT
 
@@ -64,7 +84,393 @@ class TestTelemetryNoise:
             )
 
 
-class TestEnergyBreakdown:
+class TestLegacyNoiseShim:
+    def test_deprecation_warning(self, model_ee, machine):
+        with pytest.warns(DeprecationWarning, match="telemetry_noise"):
+            SparseAdaptController(
+                model_ee, machine, EE, telemetry_noise=0.2
+            )
+
+    def test_zero_noise_emits_no_warning(self, model_ee, machine):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            SparseAdaptController(
+                model_ee, machine, EE, telemetry_noise=0.0
+            )
+
+    def test_shim_matches_explicit_schedule_bit_exactly(
+        self, model_ee, machine, spmspv_trace
+    ):
+        """The deprecated kwargs are a pure shim: the same run through
+        ``faults=noise_schedule(...)`` reproduces the historical noise
+        stream bit-for-bit, not approximately."""
+        with pytest.warns(DeprecationWarning):
+            legacy = SparseAdaptController(
+                model_ee,
+                machine,
+                EE,
+                HybridPolicy(0.4),
+                telemetry_noise=0.2,
+                noise_seed=7,
+            ).run(spmspv_trace)
+        explicit = SparseAdaptController(
+            model_ee,
+            machine,
+            EE,
+            HybridPolicy(0.4),
+            faults=noise_schedule(0.2, seed=7),
+            hardening=HardeningConfig.disabled(),
+        ).run(spmspv_trace)
+        assert legacy.total_energy_j == explicit.total_energy_j
+        assert legacy.total_time_s == explicit.total_time_s
+        assert legacy.n_reconfigurations == explicit.n_reconfigurations
+
+    def test_noise_cannot_combine_with_faults(self, model_ee, machine):
+        with pytest.raises(ConfigError):
+            SparseAdaptController(
+                model_ee,
+                machine,
+                EE,
+                telemetry_noise=0.1,
+                faults=mixed_schedule(0.1),
+            )
+
+
+class TestHardeningConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fault_streak_threshold": 0},
+            {"recovery_epochs": 0},
+            {"readback_retries": -1},
+            {"severe_issue_count": 0},
+        ],
+    )
+    def test_invalid_tunables_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            HardeningConfig(**kwargs)
+
+    def test_disabled_is_off(self):
+        assert not HardeningConfig.disabled().enabled
+        assert HardeningConfig().enabled
+
+
+class TestCounterSanitizer:
+    @pytest.fixture()
+    def clean(self, machine, spmspv_trace):
+        return machine.simulate_epoch(spmspv_trace.epochs[0], BASELINE).counters
+
+    def _mutate(self, counters, **overrides):
+        values = counters.as_dict()
+        values.update(overrides)
+        return PerformanceCounters(**values)
+
+    def test_clean_vector_passes_through_unchanged(self, clean):
+        sanitizer = CounterSanitizer(HardeningConfig())
+        result, issues = sanitizer.sanitize(clean, BASELINE)
+        assert result is clean
+        assert issues == []
+        assert sanitizer.n_substituted == 0
+
+    def test_nan_is_substituted(self, clean):
+        sanitizer = CounterSanitizer(HardeningConfig())
+        sanitizer.sanitize(clean, BASELINE)  # establish last-known-good
+        corrupt = self._mutate(clean, l1_miss_rate=float("nan"))
+        result, issues = sanitizer.sanitize(corrupt, BASELINE)
+        assert [i["issue"] for i in issues] == ["non_finite"]
+        # Substituted by the last clean reading of that counter.
+        assert result.as_dict()["l1_miss_rate"] == (
+            clean.as_dict()["l1_miss_rate"]
+        )
+        assert not math.isnan(result.as_dict()["l1_miss_rate"])
+
+    def test_out_of_range_substituted_with_midpoint_before_history(
+        self, clean
+    ):
+        sanitizer = CounterSanitizer(HardeningConfig())
+        corrupt = self._mutate(clean, l2_occupancy=7.5)
+        result, issues = sanitizer.sanitize(corrupt, BASELINE)
+        issue = next(i for i in issues if i.get("counter") == "l2_occupancy")
+        assert issue["issue"] == "out_of_range"
+        # No clean history yet: the plausible-range midpoint stands in.
+        assert 0.0 <= result.as_dict()["l2_occupancy"] <= 1.0
+
+    def test_full_scale_pin_flagged_on_suspect_counter(self, clean):
+        sanitizer = CounterSanitizer(HardeningConfig())
+        corrupt = self._mutate(clean, xbar_contention_ratio=1.0)
+        _, issues = sanitizer.sanitize(corrupt, BASELINE)
+        assert any(i["issue"] == "full_scale_pin" for i in issues)
+
+    def test_echo_mismatch_reported_without_substitution(self, clean):
+        sanitizer = CounterSanitizer(HardeningConfig())
+        # Counters echo BASELINE geometry but the host thinks it
+        # commanded something larger: flagged, echo kept.
+        from repro.baselines import MAX_CFG
+
+        result, issues = sanitizer.sanitize(clean, MAX_CFG)
+        mismatches = [i for i in issues if i["issue"] == "echo_mismatch"]
+        assert mismatches
+        for issue in mismatches:
+            assert "substitute" not in issue
+        assert (
+            result.as_dict()["l1_capacity_kb"]
+            == clean.as_dict()["l1_capacity_kb"]
+        )
+
+    def test_stale_vector_detected(self, clean):
+        sanitizer = CounterSanitizer(HardeningConfig())
+        sanitizer.sanitize(clean, BASELINE)
+        _, issues = sanitizer.sanitize(clean, BASELINE)
+        assert any(i["issue"] == "stale" for i in issues)
+
+    def test_stale_detection_can_be_disabled(self, clean):
+        sanitizer = CounterSanitizer(HardeningConfig(stale_detection=False))
+        sanitizer.sanitize(clean, BASELINE)
+        _, issues = sanitizer.sanitize(clean, BASELINE)
+        assert not any(i["issue"] == "stale" for i in issues)
+
+
+class TestSafeModeMachine:
+    def test_enters_after_streak(self):
+        machine = SafeModeMachine(HardeningConfig(fault_streak_threshold=3))
+        assert machine.observe(True) is None
+        assert machine.observe(True) is None
+        assert machine.observe(True) == "enter"
+        assert not machine.adapting
+        assert machine.entries == 1
+
+    def test_interrupted_streak_stays_normal(self):
+        machine = SafeModeMachine(HardeningConfig(fault_streak_threshold=3))
+        machine.observe(True)
+        machine.observe(True)
+        assert machine.observe(False) is None
+        assert machine.observe(True) is None
+        assert machine.adapting
+
+    def test_probe_and_exit(self):
+        config = HardeningConfig(fault_streak_threshold=2, recovery_epochs=2)
+        machine = SafeModeMachine(config)
+        machine.observe(True)
+        assert machine.observe(True) == "enter"
+        assert machine.observe(False) is None
+        assert machine.observe(False) == "probe"
+        assert machine.adapting  # the probe epoch runs the pipeline
+        assert machine.observe(False) == "exit"
+        assert machine.state == "normal"
+
+    def test_failed_probe_reenters(self):
+        config = HardeningConfig(fault_streak_threshold=2, recovery_epochs=1)
+        machine = SafeModeMachine(config)
+        machine.observe(True)
+        machine.observe(True)
+        assert machine.observe(False) == "probe"
+        assert machine.observe(True) == "reenter"
+        assert machine.entries == 2
+        assert not machine.adapting
+
+    def test_safe_epochs_counted(self):
+        config = HardeningConfig(fault_streak_threshold=1, recovery_epochs=5)
+        machine = SafeModeMachine(config)
+        machine.observe(True)
+        for _ in range(3):
+            machine.observe(False)
+        assert machine.safe_epochs == 3
+
+
+class TestFaultFreeIntegrity:
+    """Arming the fault/hardening machinery with nothing to inject must
+    not change a single modeled number (the fault-free fast path)."""
+
+    def _run(self, model_ee, machine, spmspv_trace, **kwargs):
+        return SparseAdaptController(
+            model_ee, machine, EE, HybridPolicy(0.4), **kwargs
+        ).run(spmspv_trace)
+
+    def test_empty_schedule_unhardened_identical(
+        self, model_ee, machine, spmspv_trace
+    ):
+        clean = self._run(model_ee, machine, spmspv_trace)
+        armed = self._run(
+            model_ee,
+            machine,
+            spmspv_trace,
+            faults=FaultSchedule(),
+            hardening=HardeningConfig.disabled(),
+        )
+        assert armed.total_energy_j == clean.total_energy_j
+        assert armed.total_time_s == clean.total_time_s
+        assert armed.n_reconfigurations == clean.n_reconfigurations
+
+    def test_empty_schedule_hardened_identical(
+        self, model_ee, machine, spmspv_trace
+    ):
+        clean = self._run(model_ee, machine, spmspv_trace)
+        hardened = self._run(
+            model_ee, machine, spmspv_trace, faults=FaultSchedule()
+        )
+        assert hardened.total_energy_j == clean.total_energy_j
+        assert hardened.n_reconfigurations == clean.n_reconfigurations
+
+    def test_clean_trace_carries_no_fault_records(
+        self, model_ee, machine, spmspv_trace, tmp_path
+    ):
+        path = tmp_path / "clean.jsonl"
+        with obs.recording(path):
+            self._run(model_ee, machine, spmspv_trace)
+        from repro.obs import report
+
+        records = report.load_trace(path)
+        events = {
+            r["name"] for r in records if r.get("type") == "event"
+        }
+        assert not any(name.startswith("fault.") for name in events)
+        assert "controller.safe_mode" not in events
+        start = next(r for r in records if r["name"] == "controller.start")
+        assert "fault_seed" not in start["attrs"]
+        assert "hardening" not in start["attrs"]
+
+
+class TestHardenedController:
+    def _controller(self, model_ee, machine, faults, hardening=None):
+        return SparseAdaptController(
+            model_ee,
+            machine,
+            EE,
+            HybridPolicy(0.4),
+            initial_config=BASELINE,
+            faults=faults,
+            hardening=hardening,
+        )
+
+    def test_run_stats_populated(self, model_ee, machine, spmspv_trace):
+        controller = self._controller(
+            model_ee, machine, mixed_schedule(0.2, seed=4)
+        )
+        assert controller.last_run_stats is None
+        controller.run(spmspv_trace)
+        stats = controller.last_run_stats
+        assert stats["n_faults_injected"] > 0
+        assert stats["n_faults_detected"] > 0
+        assert stats["n_faults_injected"] == sum(
+            stats["faults_injected"].values()
+        )
+
+    def test_sustained_outage_enters_and_leaves_safe_mode(
+        self, model_ee, machine
+    ):
+        from repro.experiments.harness import build_trace
+
+        trace = build_trace("spmspv", "P3", scale=0.15)
+        n = trace.n_epochs
+        assert n >= 12, "trace too short for the outage window"
+        outage = FaultSchedule(
+            specs=(
+                FaultSpec(
+                    kind="counter_dropout",
+                    rate=1.0,
+                    severity=0.9,
+                    start_epoch=2,
+                    end_epoch=n - 6,
+                ),
+            ),
+            seed=0,
+        )
+        controller = self._controller(model_ee, machine, outage)
+        controller.run(trace)
+        stats = controller.last_run_stats
+        assert stats["safe_mode_entries"] >= 1
+        assert stats["safe_epochs"] > 0
+        # The outage ends 6 epochs before the run does; with the default
+        # 2-clean-epoch recovery the controller must have probed back.
+        assert stats["safe_epochs"] < n - 2
+
+    def test_readback_corrects_dropped_reconfigs(
+        self, model_ee, machine, spmspv_trace
+    ):
+        drops = FaultSchedule(
+            specs=(FaultSpec(kind="reconfig_drop", rate=0.5),), seed=1
+        )
+        controller = self._controller(model_ee, machine, drops)
+        controller.run(spmspv_trace)
+        assert controller.last_run_stats["readback_retries"] > 0
+
+    def test_deterministic_under_fixed_seed(
+        self, model_ee, machine, spmspv_trace
+    ):
+        runs = []
+        for _ in range(2):
+            controller = self._controller(
+                model_ee, machine, mixed_schedule(0.3, seed=11)
+            )
+            schedule = controller.run(spmspv_trace)
+            runs.append((schedule.total_energy_j, controller.last_run_stats))
+        assert runs[0][0] == runs[1][0]
+        assert runs[0][1] == runs[1][1]
+
+    def test_fault_events_recorded_in_trace(
+        self, model_ee, machine, spmspv_trace, tmp_path
+    ):
+        path = tmp_path / "faulty.jsonl"
+        controller = self._controller(
+            model_ee, machine, mixed_schedule(0.3, seed=2)
+        )
+        with obs.recording(path):
+            controller.run(spmspv_trace)
+        from repro.obs import report
+
+        records = report.load_trace(path)
+        events = [r["name"] for r in records if r.get("type") == "event"]
+        assert "fault.injected" in events
+        assert "fault.detected" in events
+        start = next(r for r in records if r["name"] == "controller.start")
+        assert start["attrs"]["fault_seed"] == 2
+        assert start["attrs"]["hardening"]["fault_streak_threshold"] >= 1
+
+    def test_safe_config_must_match_l1_type(self, model_ee, machine):
+        from repro.transmuter.config import HardwareConfig
+
+        with pytest.raises(ConfigError):
+            SparseAdaptController(
+                model_ee,
+                machine,
+                EE,
+                faults=mixed_schedule(0.1),
+                safe_config=HardwareConfig(l1_type="spm"),
+            )
+
+
+class TestFaultCampaign:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(FaultError):
+            run_campaign("not a schedule")
+        with pytest.raises(FaultError):
+            run_campaign(mixed_schedule(0.1), rates=())
+        with pytest.raises(FaultError):
+            run_campaign(mixed_schedule(0.1), rates=(-1.0,))
+
+    def test_retention_at_ten_percent_mixed_faults(self):
+        """The documented acceptance number: at the 10% mixed-fault
+        campaign the hardened controller retains a sizeable fraction of
+        the clean adaptive gain over BASELINE (docs/robustness.md)."""
+        result = run_campaign(
+            mixed_schedule(0.1, seed=0),
+            rates=(0.0, 1.0),
+            kernel="spmspv",
+            matrix_id="P3",
+            scale=0.15,
+            mode=EE,
+        )
+        assert result.clean_gain > 1.0
+        fault_free = result.rows[0]
+        assert fault_free["hardened"]["retention"] == pytest.approx(1.0)
+        assert fault_free["unhardened"]["retention"] == pytest.approx(1.0)
+        full = result.rows[1]["hardened"]
+        assert full["n_faults_injected"] > 0
+        assert full["n_faults_detected"] > 0
+        assert full["retention"] >= 0.35
+        assert full["gain"] > 1.0
     def test_components_sum_to_total(self, model_ee, machine, spmspv_trace):
         schedule = SparseAdaptController(
             model_ee, machine, EE, HybridPolicy(0.4)
