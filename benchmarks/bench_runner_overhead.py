@@ -1,0 +1,95 @@
+"""Guard: suite-runner supervision must stay cheap per job.
+
+The resilient runner wraps every campaign job in bookkeeping (obs
+events, retry accounting, optional ledger appends, optional watchdog
+thread). Campaign jobs are seconds-long evaluations, so the wrapper
+must cost micro- not milliseconds; this benchmark times a campaign of
+trivial jobs through :class:`repro.runner.SuiteRunner` against a bare
+loop calling the same functions, and fails if supervision costs more
+than ``MAX_OVERHEAD_S`` per job. The deadline-watchdog mode (one worker
+thread per attempt) and the fsynced-ledger mode are reported for
+context — they buy hang-resilience and resumability with real costs
+that should stay visible, not asserted flat.
+
+Run with: ``pytest benchmarks/bench_runner_overhead.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from benchmarks.conftest import best_of, run_once
+
+from repro.runner import Job, RunLedger, SuiteRunner, SupervisorConfig
+
+#: Trivial jobs per campaign; enough to average out setup noise.
+N_JOBS = 200
+
+#: Maximum tolerated supervision cost per job (no deadline, no ledger).
+MAX_OVERHEAD_S = 0.005
+
+
+def _jobs():
+    return [
+        Job(
+            key=f"bench{index:04d}",
+            label=f"bench/{index}",
+            fn=lambda index=index: {"value": index},
+            index=index,
+        )
+        for index in range(N_JOBS)
+    ]
+
+
+def _bare_loop() -> None:
+    for job in _jobs():
+        job.fn()
+
+
+def _supervised(config: SupervisorConfig, ledger_dir=None) -> None:
+    ledger = None
+    if ledger_dir is not None:
+        ledger = RunLedger(
+            Path(ledger_dir) / "bench.jsonl", plan_key="bench"
+        )
+    SuiteRunner(config=config, ledger=ledger).run(_jobs(), name="bench")
+
+
+def test_runner_overhead(benchmark, emit):
+    config = SupervisorConfig(max_retries=0)
+    bare = best_of(_bare_loop, repeats=5)
+    supervised = best_of(lambda: _supervised(config), repeats=5)
+
+    deadline_config = SupervisorConfig(deadline_s=30.0, max_retries=0)
+    with_deadline = best_of(
+        lambda: _supervised(deadline_config), repeats=3
+    )
+
+    def ledgered() -> None:
+        with tempfile.TemporaryDirectory() as scratch:
+            _supervised(config, ledger_dir=scratch)
+
+    with_ledger = best_of(ledgered, repeats=3)
+
+    per_job = (supervised - bare) / N_JOBS
+    emit(
+        "\n".join(
+            [
+                f"suite-runner supervision overhead ({N_JOBS} trivial jobs)",
+                f"  bare loop:          {bare * 1e3:8.3f} ms",
+                f"  supervised:         {supervised * 1e3:8.3f} ms"
+                f"  ({per_job * 1e6:7.2f} us/job)",
+                f"  + deadline watchdog:{with_deadline * 1e3:8.3f} ms"
+                f"  ({(with_deadline - bare) / N_JOBS * 1e6:7.2f} us/job)",
+                f"  + fsynced ledger:   {with_ledger * 1e3:8.3f} ms"
+                f"  ({(with_ledger - bare) / N_JOBS * 1e6:7.2f} us/job)",
+                f"  budget: {MAX_OVERHEAD_S * 1e6:.0f} us/job (plain mode)",
+            ]
+        )
+    )
+    assert per_job < MAX_OVERHEAD_S, (
+        f"suite-runner supervision costs {per_job * 1e6:.1f} us per job "
+        f"(budget {MAX_OVERHEAD_S * 1e6:.0f} us)"
+    )
+    run_once(benchmark, lambda: _supervised(config))

@@ -34,10 +34,17 @@ Commands
     built-in ``--mixed`` schedule) and print the degradation table:
     gain over BASELINE and clean-gain retention per fault-rate scale,
     hardened vs. unhardened.
+``suite-run``
+    Run a supervised campaign from a plan file (or the built-in
+    Table-5 plan): per-job deadlines, bounded retries, quarantine for
+    poisoned inputs, and a durable run ledger that makes the campaign
+    resumable with ``--resume``.
 
 Every library failure (bad arguments, malformed spec files, unknown
 fault kinds, ...) exits 1 with a one-line ``error: ...`` on stderr —
-never a traceback.
+never a traceback. Ctrl-C flushes open trace sinks, prints a one-line
+``interrupted: ...`` (with a resume hint when a ledger was active),
+and exits 130.
 """
 
 from __future__ import annotations
@@ -148,6 +155,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("name", choices=_EXPERIMENTS)
     experiment.add_argument("--scale", type=float, default=None)
+    experiment.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock deadline in seconds (the driver runs under "
+        "the suite runner's watchdog)",
+    )
     experiment.add_argument(
         "--json",
         action="store_true",
@@ -291,12 +305,100 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the unhardened comparison runs",
     )
     faults.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-rate-job wall-clock deadline in seconds",
+    )
+    faults.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retry budget per rate job for retryable failures",
+    )
+    faults.add_argument(
         "--json",
         action="store_true",
         help="emit the campaign result as JSON instead of the table",
     )
     faults.add_argument(
         "--out", help="also write the campaign result JSON to this path"
+    )
+
+    suite_run = commands.add_parser(
+        "suite-run",
+        help="run a supervised, resumable campaign from a plan",
+    )
+    suite_run.add_argument(
+        "plan",
+        nargs="?",
+        help="campaign plan JSON file (omit for the built-in Table-5 plan)",
+    )
+    suite_run.add_argument(
+        "--scale",
+        type=float,
+        default=0.3,
+        help="problem scale of the built-in plan (ignored with a plan file)",
+    )
+    suite_run.add_argument(
+        "--mode",
+        choices=sorted(_MODES),
+        default="ee",
+        help="optimization mode of the built-in plan "
+        "(ignored with a plan file)",
+    )
+    suite_run.add_argument(
+        "--ledger",
+        help="durable JSONL run ledger; arms checkpointing and --resume",
+    )
+    suite_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a previous run from --ledger "
+        "(completed jobs replay from the ledger)",
+    )
+    suite_run.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-job wall-clock deadline in seconds "
+        "(jobs may override via their deadline_s)",
+    )
+    suite_run.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retry budget per job for retryable failures (incl. timeouts)",
+    )
+    suite_run.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        help="first retry backoff sleep in seconds (doubles per retry)",
+    )
+    suite_run.add_argument(
+        "--seed", type=int, default=0, help="seed of the retry-jitter streams"
+    )
+    suite_run.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="stop after this many newly executed jobs, leaving the "
+        "ledger resumable (campaign sharding, CI smoke)",
+    )
+    suite_run.add_argument(
+        "--faults",
+        help="fault schedule JSON; its job_hang/job_crash kinds are "
+        "applied per job attempt (see docs/robustness.md)",
+    )
+    suite_run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the suite report as JSON instead of the table",
+    )
+    suite_run.add_argument(
+        "--out",
+        help="also write the suite report JSON to this path (atomically)",
     )
 
     return parser
@@ -499,7 +601,26 @@ def _command_experiment(args) -> int:
         "fig11-bandwidth",
     ):
         kwargs["scale"] = args.scale
-    result = driver(**kwargs)
+
+    # One driver run = a single-job campaign: the suite runner supplies
+    # the deadline watchdog and turns a failure into a structured row
+    # (drivers are deterministic, so there is nothing to retry).
+    from repro.runner import Job, SuiteRunner, SupervisorConfig, job_key
+
+    job = Job(
+        key=job_key({"type": "experiment", "name": args.name, **kwargs}),
+        label=f"experiment/{args.name}",
+        fn=lambda: driver(**kwargs),
+        index=0,
+        deadline_s=getattr(args, "deadline", None),
+    )
+    runner = SuiteRunner(config=SupervisorConfig(max_retries=0))
+    report = runner.run([job], name=f"experiment-{args.name}")
+    row = report.rows[0]
+    if row["status"] != "ok":
+        print(f"error: {row['failure']['error']}", file=sys.stderr)
+        return 1
+    result = row["result"]
     if getattr(args, "json", False):
         print(json.dumps(_to_jsonable(result), indent=2))
     else:
@@ -564,6 +685,8 @@ def _command_faults(args) -> int:
         mixed_schedule,
         run_campaign,
     )
+    from repro.obs.sinks import write_atomic
+    from repro.runner import SupervisorConfig
 
     if (args.spec is None) == (args.mixed is None):
         raise FaultError(
@@ -592,18 +715,83 @@ def _command_faults(args) -> int:
         scale=args.scale,
         mode=_mode(args.mode),
         include_unhardened=not args.no_unhardened,
+        runner_config=SupervisorConfig(
+            deadline_s=args.deadline, max_retries=args.max_retries
+        ),
     )
     payload = _to_jsonable(result.as_dict())
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        write_atomic(
+            args.out,
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        )
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(format_campaign_table(result))
         if args.out:
             print(f"campaign result written to {args.out}")
+    return 0
+
+
+def _command_suite_run(args) -> int:
+    from repro.errors import ConfigError
+    from repro.faults import FaultSchedule
+    from repro.obs.sinks import write_atomic
+    from repro.runner import (
+        CampaignPlan,
+        SupervisorConfig,
+        format_suite_table,
+        run_plan,
+        table5_plan,
+    )
+
+    if args.resume and not args.ledger:
+        raise ConfigError(
+            "--resume requires --ledger (the run ledger to continue)"
+        )
+    if args.max_jobs is not None and args.max_jobs < 1:
+        raise ConfigError(
+            f"--max-jobs must be at least 1, got {args.max_jobs}"
+        )
+    if args.plan:
+        plan = CampaignPlan.from_file(args.plan)
+    else:
+        plan = table5_plan(scale=args.scale, mode=args.mode)
+    if args.faults:
+        schedule = FaultSchedule.from_file(args.faults)
+        plan = CampaignPlan(name=plan.name, jobs=plan.jobs, faults=schedule)
+    config = SupervisorConfig(
+        deadline_s=args.deadline,
+        max_retries=args.max_retries,
+        backoff_base_s=args.backoff,
+        seed=args.seed,
+    )
+    report = run_plan(
+        plan,
+        config=config,
+        ledger_path=args.ledger,
+        resume=args.resume,
+        max_jobs=args.max_jobs,
+    )
+    payload = _to_jsonable(report.as_dict())
+    if args.out:
+        write_atomic(
+            args.out, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_suite_table(report))
+        if args.out:
+            print(f"suite report written to {args.out}")
+    if report.partial:
+        hint = "; rerun with --resume to continue" if args.ledger else ""
+        print(
+            f"checkpoint: stopped after --max-jobs {args.max_jobs} "
+            f"new jobs{hint}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -728,6 +916,22 @@ def _pretty_print(value, indent: int = 0) -> None:
         print(f"{pad}{value}")
 
 
+def _flush_trace_sinks() -> None:
+    """Best-effort close of a recorder left installed by an interrupted
+    command, so the trace on disk ends on a complete record. (The
+    ``obs.recording`` context manager already restores and closes on
+    the way out; this covers recorders installed without it.)"""
+    from repro import obs
+
+    recorder = obs.get_recorder()
+    if getattr(recorder, "enabled", False):
+        try:
+            obs.install(None)
+            recorder.close()
+        except Exception:  # noqa: BLE001 - interrupt path, flush only
+            pass
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     from repro.errors import ReproError
@@ -744,12 +948,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "explain": lambda: _command_explain(args),
         "diff": lambda: _command_diff(args),
         "faults": lambda: _command_faults(args),
+        "suite-run": lambda: _command_suite_run(args),
     }
     try:
         return handlers[args.command]()
     except BrokenPipeError:
         # Output piped into a closed reader (e.g. `| head`): not an error.
         return 0
+    except KeyboardInterrupt as exc:
+        # Ctrl-C: flush open sinks, one line, exit 130. A campaign
+        # interrupt carries a resume hint (the ledger was checkpointed
+        # before we got here).
+        _flush_trace_sinks()
+        hint = getattr(exc, "resume_hint", None)
+        print(
+            f"interrupted: {hint or 'stopped before completion'}",
+            file=sys.stderr,
+        )
+        return 130
     except ReproError as exc:
         # Every library failure surfaces as one line, never a traceback.
         print(f"error: {exc}", file=sys.stderr)

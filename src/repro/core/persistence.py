@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.model import SparseAdaptModel
 from repro.errors import ModelError
 from repro.ml.decision_tree import DecisionTreeClassifier, TreeNode
+from repro.obs.sinks import write_atomic
 
 __all__ = [
     "save_model",
@@ -134,9 +135,8 @@ def model_from_dict(data: dict) -> SparseAdaptModel:
 
 
 def save_model(model: SparseAdaptModel, path: Union[str, Path]) -> None:
-    """Write a fitted model to a JSON file."""
-    path = Path(path)
-    path.write_text(json.dumps(model_to_dict(model)))
+    """Write a fitted model to a JSON file (crash-safe atomic write)."""
+    write_atomic(path, json.dumps(model_to_dict(model)))
 
 
 def load_model(path: Union[str, Path]) -> SparseAdaptModel:
@@ -160,7 +160,7 @@ def save_memory_mode_model(model, path: Union[str, Path]) -> None:
         "spm_model": model_to_dict(model.spm_model),
         "type_tree": _tree_to_dict(model.type_tree),
     }
-    Path(path).write_text(json.dumps(payload))
+    write_atomic(path, json.dumps(payload))
 
 
 def load_memory_mode_model(path: Union[str, Path]):

@@ -34,3 +34,22 @@ class SimulationError(ReproError):
 
 class FaultError(ReproError):
     """A fault-injection spec, schedule, or campaign request is invalid."""
+
+
+class RetryableError(ReproError):
+    """A transient failure; the suite runner may retry the job.
+
+    Raise this (or a subclass) from job code when the failure is
+    plausibly transient — a flaky input source, an injected crash, a
+    recoverable environment hiccup. Anything else that escapes a job is
+    treated as a poisoned input and quarantined without retry.
+    """
+
+
+class JobTimeoutError(RetryableError):
+    """A supervised job overran its deadline and was abandoned.
+
+    Timeouts are retryable: a hang can be transient (contention, a cold
+    cache); a persistent hang exhausts the retry budget and the job is
+    quarantined with a structured failure record.
+    """

@@ -13,6 +13,7 @@ Every figure/table driver composes the same three steps:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -59,6 +60,7 @@ from repro.transmuter.config import HardwareConfig
 from repro.transmuter.machine import TransmuterModel
 
 __all__ = [
+    "KNOWN_SCHEMES",
     "STANDARD_SCHEMES",
     "UPPER_BOUND_SCHEMES",
     "build_trace",
@@ -80,7 +82,24 @@ UPPER_BOUND_SCHEMES = (
     "Oracle",
 )
 
+#: Every scheme name :func:`evaluate_schemes` accepts (plan validation
+#: in :mod:`repro.runner.plan` fails fast against this set).
+KNOWN_SCHEMES = (
+    "Baseline",
+    "Best Avg",
+    "Max Cfg",
+    "SparseAdapt",
+    "Ideal Static",
+    "Ideal Greedy",
+    "Oracle",
+    "ProfileAdapt Naive",
+    "ProfileAdapt Ideal",
+)
+
 _TRACE_CACHE: Dict[tuple, KernelTrace] = {}
+#: The cache is shared with watchdog worker threads (the suite runner
+#: executes deadline-supervised jobs off-thread), so guard it.
+_TRACE_CACHE_LOCK = threading.Lock()
 
 
 def default_policy_for(kernel: str) -> ReconfigurationPolicy:
@@ -106,8 +125,10 @@ def build_trace(
     ``bfs`` or ``sssp``.
     """
     key = (kernel, matrix_id, scale, epoch_fp_ops, vector_density, seed)
-    if use_cache and key in _TRACE_CACHE:
-        return _TRACE_CACHE[key]
+    if use_cache:
+        with _TRACE_CACHE_LOCK:
+            if key in _TRACE_CACHE:
+                return _TRACE_CACHE[key]
     recorder = obs.get_recorder()
     with recorder.span(
         "harness.build_trace", kernel=kernel, matrix=matrix_id, scale=scale
@@ -117,7 +138,8 @@ def build_trace(
         )
         span.set(n_epochs=trace.n_epochs)
     if use_cache:
-        _TRACE_CACHE[key] = trace
+        with _TRACE_CACHE_LOCK:
+            _TRACE_CACHE[key] = trace
     return trace
 
 
@@ -205,6 +227,11 @@ def evaluate_schemes(
     ``ProfileAdapt Ideal`` — these use ``profiling_epoch_trace`` when
     given, since ProfileAdapt operates at its own best epoch size).
     """
+    if context.trace.n_epochs == 0:
+        raise ConfigError(
+            f"cannot evaluate schemes over the empty trace "
+            f"{context.trace.name!r} (0 epochs)"
+        )
     statics = context.static_points()
     needs_table = any(
         name

@@ -16,6 +16,7 @@ from repro.faults.injector import FaultInjector, InjectedFault
 from repro.faults.spec import (
     COUNTER_FAULTS,
     FAULT_KINDS,
+    HOST_FAULTS,
     MACHINE_FAULTS,
     RECONFIG_FAULTS,
     FaultSchedule,
@@ -27,6 +28,7 @@ from repro.faults.spec import (
 __all__ = [
     "COUNTER_FAULTS",
     "FAULT_KINDS",
+    "HOST_FAULTS",
     "MACHINE_FAULTS",
     "RECONFIG_FAULTS",
     "CampaignResult",

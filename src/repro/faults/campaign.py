@@ -9,6 +9,12 @@ efficiency gain over the static BASELINE plus how much of the clean
 adaptive gain is retained. Everything is seeded, so the same schedule
 and seed produce byte-identical campaign results (the CI determinism
 guard relies on this).
+
+The per-rate sweep executes through the shared
+:class:`~repro.runner.executor.SuiteRunner`, so fault campaigns get the
+same deadline watchdog, retry, and quarantine discipline as
+``repro suite-run``: a rate factor that hangs or crashes becomes a
+``failure`` row instead of aborting the sweep.
 """
 
 from __future__ import annotations
@@ -64,6 +70,7 @@ def run_campaign(
     mode: OptimizationMode = OptimizationMode.ENERGY_EFFICIENT,
     hardening: Optional[HardeningConfig] = None,
     include_unhardened: bool = True,
+    runner_config=None,
 ) -> CampaignResult:
     """Sweep ``schedule`` scaled by every factor in ``rates``.
 
@@ -72,6 +79,14 @@ def run_campaign(
     is the efficiency gain (GFLOPS/W over BASELINE) in Energy-Efficient
     mode and the performance gain (GFLOPS over BASELINE) in
     Power-Performance mode.
+
+    ``runner_config`` (a :class:`~repro.runner.SupervisorConfig`)
+    tunes the supervision of the per-rate jobs — deadline, retry
+    budget, backoff; the default supervises without a deadline, which
+    adds no threads and keeps results byte-identical to the
+    pre-runner driver. Host-level fault kinds (``job_hang`` /
+    ``job_crash``) present in ``schedule`` are interpreted per rate-job
+    by the runner; the controller-level injector ignores them.
     """
     # Imported here: the harness sits above repro.faults in the layer
     # order (the controller imports the fault modules).
@@ -79,6 +94,8 @@ def run_campaign(
     from repro.core.controller import SparseAdaptController
     from repro.core.training import train_default_model
     from repro.experiments.harness import build_trace, default_policy_for
+    from repro.runner.executor import Job, SuiteRunner
+    from repro.runner.plan import job_key
     from repro.transmuter.machine import TransmuterModel
 
     if not isinstance(schedule, FaultSchedule):
@@ -127,31 +144,70 @@ def run_campaign(
         baseline_gflops_per_watt=baseline.gflops_per_watt,
         clean_gain=clean_gain,
     )
-    for factor in rates:
-        scaled = schedule.scaled(factor)
-        faults = scaled if len(scaled) else None
-        row: Dict[str, object] = {
-            "rate_scale": float(factor),
-            "rates": {
-                f"{spec.kind}[{i}]": spec.rate
-                for i, spec in enumerate(scaled.specs)
-            },
-        }
-        for label, harden_config in (
-            ("hardened", hardening or HardeningConfig()),
-            ("unhardened", HardeningConfig.disabled()),
-        ):
-            if label == "unhardened" and not include_unhardened:
-                continue
-            run, stats = controlled(faults, harden_config)
-            gain = metric(run)
-            row[label] = {
-                "gain": gain,
-                "retention": _retention(gain, clean_gain),
-                "reconfigurations": run.n_reconfigurations,
-                **(stats or {}),
+
+    def rate_job(factor: float):
+        def fn() -> Dict[str, object]:
+            scaled = schedule.scaled(factor)
+            faults = scaled if len(scaled) else None
+            row: Dict[str, object] = {
+                "rate_scale": float(factor),
+                "rates": {
+                    f"{spec.kind}[{i}]": spec.rate
+                    for i, spec in enumerate(scaled.specs)
+                },
             }
-        result.rows.append(row)
+            for label, harden_config in (
+                ("hardened", hardening or HardeningConfig()),
+                ("unhardened", HardeningConfig.disabled()),
+            ):
+                if label == "unhardened" and not include_unhardened:
+                    continue
+                run, stats = controlled(faults, harden_config)
+                gain = metric(run)
+                row[label] = {
+                    "gain": gain,
+                    "retention": _retention(gain, clean_gain),
+                    "reconfigurations": run.n_reconfigurations,
+                    **(stats or {}),
+                }
+            return row
+
+        return fn
+
+    jobs = [
+        Job(
+            key=job_key(
+                {
+                    "type": "fault-campaign",
+                    "schedule": schedule.as_dict(),
+                    "factor": float(factor),
+                    "kernel": kernel,
+                    "matrix": matrix_id,
+                    "scale": scale,
+                    "mode": mode.value,
+                    "unhardened": include_unhardened,
+                }
+            ),
+            label=f"rate={factor:g}",
+            fn=rate_job(factor),
+            index=index,
+            meta={"rate_scale": float(factor)},
+        )
+        for index, factor in enumerate(rates)
+    ]
+    runner = SuiteRunner(config=runner_config, faults=schedule)
+    report = runner.run(jobs, name=f"faults-{kernel}-{matrix_id}")
+    for row_record in report.rows:
+        if row_record["status"] == "ok":
+            result.rows.append(row_record["result"])
+        else:
+            result.rows.append(
+                {
+                    "rate_scale": row_record["rate_scale"],
+                    "failure": dict(row_record["failure"]),
+                    "attempts": row_record["attempts"],
+                }
+            )
     return result
 
 
@@ -166,6 +222,14 @@ def format_campaign_table(result: CampaignResult) -> str:
         f"{'inj':>5} {'det':>5} {'safe-ep':>7} {'reconf':>6}",
     ]
     for row in result.rows:
+        failure = row.get("failure")
+        if failure is not None:
+            lines.append(
+                f"{row['rate_scale']:>6.2f}  {'QUARANTINED':<10} "
+                f"[{failure.get('kind')}] {failure.get('error')} "
+                f"({row.get('attempts', 1)} attempts)"
+            )
+            continue
         for label in ("hardened", "unhardened"):
             stats = row.get(label)
             if stats is None:

@@ -33,7 +33,19 @@ Kind                   Effect when it fires
 ``thermal_clamp``      The effective clock is capped at
                        ``params: {"clamp_mhz": f}`` for ``duration``
                        epochs (thermal DVFS clamp window).
+``job_hang``           Host-level: a campaign job stalls for
+                       ``params: {"seconds": s}`` before doing any work
+                       (a wedged kernel/driver); the suite runner's
+                       deadline watchdog is what catches it.
+``job_crash``          Host-level: a campaign job dies mid-run with a
+                       retryable error (an OOM-killed or segfaulted
+                       worker, from the supervisor's point of view).
 =====================  ====================================================
+
+The two ``job_*`` kinds are interpreted by :mod:`repro.runner`, not by
+the :class:`~repro.faults.injector.FaultInjector` — their window and
+rate apply per campaign *job attempt* instead of per epoch. A schedule
+may mix host-level and hardware kinds; each layer consumes its own.
 
 ``rate`` is the per-epoch probability that a spec fires inside its
 ``[start_epoch, end_epoch)`` window; a rate of 1.0 fires every epoch
@@ -54,6 +66,7 @@ __all__ = [
     "COUNTER_FAULTS",
     "RECONFIG_FAULTS",
     "MACHINE_FAULTS",
+    "HOST_FAULTS",
     "FAULT_KINDS",
     "FaultSpec",
     "FaultSchedule",
@@ -69,15 +82,20 @@ COUNTER_FAULTS: Tuple[str, ...] = (
 )
 RECONFIG_FAULTS: Tuple[str, ...] = ("reconfig_drop", "reconfig_partial")
 MACHINE_FAULTS: Tuple[str, ...] = ("bandwidth_throttle", "thermal_clamp")
+#: Host-level kinds, interpreted per job attempt by ``repro.runner``.
+HOST_FAULTS: Tuple[str, ...] = ("job_hang", "job_crash")
 
-#: Every fault kind the injector understands.
-FAULT_KINDS: Tuple[str, ...] = COUNTER_FAULTS + RECONFIG_FAULTS + MACHINE_FAULTS
+#: Every fault kind the framework understands (hardware + host level).
+FAULT_KINDS: Tuple[str, ...] = (
+    COUNTER_FAULTS + RECONFIG_FAULTS + MACHINE_FAULTS + HOST_FAULTS
+)
 
 #: Allowed keys of ``FaultSpec.params`` per kind.
 _PARAM_KEYS: Dict[str, Tuple[str, ...]] = {
     "counter_dropout": ("mode",),
     "bandwidth_throttle": ("duration",),
     "thermal_clamp": ("duration", "clamp_mhz"),
+    "job_hang": ("seconds",),
 }
 
 
@@ -155,6 +173,17 @@ class FaultSpec:
             if clamp not in CLOCKS_MHZ:
                 raise FaultError(
                     f"clamp_mhz must be one of {CLOCKS_MHZ}, got {clamp!r}"
+                )
+        if self.kind == "job_hang":
+            seconds = self.params.get("seconds", 30.0)
+            if (
+                not isinstance(seconds, (int, float))
+                or isinstance(seconds, bool)
+                or seconds <= 0
+            ):
+                raise FaultError(
+                    f"job_hang seconds must be a positive number, "
+                    f"got {seconds!r}"
                 )
 
     # ------------------------------------------------------------------

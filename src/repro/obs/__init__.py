@@ -37,7 +37,9 @@ from repro.obs.sinks import (
     MemorySink,
     NullSink,
     TraceSink,
+    atomic_writer,
     read_jsonl,
+    write_atomic,
     write_jsonl,
 )
 from repro.obs.trace import (
@@ -57,7 +59,9 @@ __all__ = [
     "NullSink",
     "MemorySink",
     "FileSink",
+    "atomic_writer",
     "read_jsonl",
+    "write_atomic",
     "write_jsonl",
     "Span",
     "TraceRecorder",

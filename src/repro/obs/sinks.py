@@ -14,18 +14,60 @@ other layer of the repository and must not pull the numeric stack in.
 from __future__ import annotations
 
 import json
+import os
 from collections import deque
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Iterable, List, Union
+from typing import Dict, Iterable, Iterator, List, TextIO, Union
 
 __all__ = [
     "TraceSink",
     "NullSink",
     "MemorySink",
     "FileSink",
+    "atomic_writer",
+    "write_atomic",
     "write_jsonl",
     "read_jsonl",
 ]
+
+
+@contextmanager
+def atomic_writer(
+    path: Union[str, Path], encoding: str = "utf-8"
+) -> Iterator[TextIO]:
+    """Open a temporary sibling of ``path`` for writing; commit on exit.
+
+    The handle writes to ``<name>.tmp<pid>`` in the target directory.
+    On clean exit the data is flushed, fsynced, and atomically renamed
+    over ``path`` (``os.replace``); on error the temporary file is
+    removed and ``path`` is left exactly as it was. A killed process
+    therefore never leaves a truncated file at the final path.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        with tmp.open("w", encoding=encoding) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
+
+
+def write_atomic(
+    path: Union[str, Path], text: str, encoding: str = "utf-8"
+) -> Path:
+    """Write ``text`` to ``path`` crash-safely (tmp + fsync + replace)."""
+    path = Path(path)
+    with atomic_writer(path, encoding=encoding) as handle:
+        handle.write(text)
+    return path
 
 
 def _json_default(value):
@@ -106,12 +148,19 @@ class MemorySink(TraceSink):
 
 
 class FileSink(TraceSink):
-    """Streams records to a JSONL file, one object per line."""
+    """Streams records to a JSONL file, one object per line.
+
+    Records stream into a ``<name>.part`` sibling; :meth:`close`
+    fsyncs and atomically renames it over the final path. A run killed
+    mid-trace leaves only the ``.part`` file behind — the final path
+    either holds a complete trace or nothing.
+    """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self.emitted = 0
-        self._handle = self.path.open("w", encoding="utf-8")
+        self._part_path = self.path.with_name(self.path.name + ".part")
+        self._handle = self._part_path.open("w", encoding="utf-8")
 
     def emit(self, record: Dict) -> None:
         self._handle.write(encode_record(record) + "\n")
@@ -120,13 +169,16 @@ class FileSink(TraceSink):
     def close(self) -> None:
         if not self._handle.closed:
             self._handle.flush()
+            os.fsync(self._handle.fileno())
             self._handle.close()
+            os.replace(self._part_path, self.path)
 
 
 def write_jsonl(records: Iterable[Dict], path: Union[str, Path]) -> Path:
-    """Write an iterable of records as JSONL."""
+    """Write an iterable of records as JSONL (atomically: see
+    :func:`atomic_writer`)."""
     path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
+    with atomic_writer(path) as handle:
         for record in records:
             handle.write(encode_record(record) + "\n")
     return path

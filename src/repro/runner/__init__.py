@@ -1,0 +1,56 @@
+"""Resilient suite runner: checkpointed, resumable, supervised campaigns.
+
+The unit of scientific work in the paper is the full R01–R16 suite
+sweep, not a single run — and a campaign of dozens of jobs must survive
+a hung kernel, a poisoned input, or a Ctrl-C without losing everything.
+This package is the host-side execution layer that guarantees it:
+
+* :mod:`repro.runner.plan` — declarative campaign plans (JSON files or
+  the built-in Table-5 plan) and content-addressed job keys;
+* :mod:`repro.runner.ledger` — the durable, fsynced JSONL run ledger
+  that makes any campaign resumable;
+* :mod:`repro.runner.supervisor` — per-job deadline watchdog, retry
+  backoff, and the host-level (``job_hang``/``job_crash``) fault
+  injector;
+* :mod:`repro.runner.executor` — the :class:`SuiteRunner` tying them
+  together, plus :func:`run_plan` behind ``repro suite-run``.
+
+``repro faults`` and ``repro experiment`` route their multi-job work
+through the same :class:`SuiteRunner`, so supervision, retries, and
+ledgers behave identically everywhere. See ``docs/robustness.md``.
+"""
+
+from repro.runner.executor import (
+    CampaignInterrupted,
+    Job,
+    JobFailure,
+    SuiteReport,
+    SuiteRunner,
+    format_suite_table,
+    run_plan,
+)
+from repro.runner.ledger import RunLedger
+from repro.runner.plan import CampaignPlan, JobSpec, job_key, table5_plan
+from repro.runner.supervisor import (
+    HostFaultInjector,
+    SupervisorConfig,
+    call_with_deadline,
+)
+
+__all__ = [
+    "CampaignInterrupted",
+    "CampaignPlan",
+    "HostFaultInjector",
+    "Job",
+    "JobFailure",
+    "JobSpec",
+    "RunLedger",
+    "SuiteReport",
+    "SuiteRunner",
+    "SupervisorConfig",
+    "call_with_deadline",
+    "format_suite_table",
+    "job_key",
+    "run_plan",
+    "table5_plan",
+]

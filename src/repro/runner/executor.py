@@ -1,0 +1,471 @@
+"""The supervised campaign executor.
+
+:class:`SuiteRunner` drives a list of :class:`Job`\\ s through one
+shared supervision pipeline: per-job deadline watchdog, bounded retries
+with exponential backoff for :class:`~repro.errors.RetryableError`
+(including timeouts), quarantine with a structured
+:class:`JobFailure` for everything else, durable ledger checkpoints
+after every terminal row, and clean SIGINT checkpointing. A failed job
+becomes a ``failed`` row in the :class:`SuiteReport` — the sweep always
+finishes.
+
+Determinism contract: given the same plan, seeds, and code, the
+report's :meth:`SuiteReport.stable_dict` is byte-identical whether the
+campaign ran uninterrupted or was killed and resumed any number of
+times. Everything wall-clock lives in fields the stable view strips
+(``duration_s`` at the report and row levels); everything else in a row
+is replayed from the ledger verbatim on resume.
+
+``repro suite-run`` fronts :func:`run_plan`; the ``repro faults``
+campaign driver and ``repro experiment`` submit their own job lists
+through the same :class:`SuiteRunner`, so every multi-job path in the
+repository shares one supervision/retry/ledger code path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro import obs
+from repro.errors import JobTimeoutError, ReproError, RetryableError
+from repro.runner.ledger import RunLedger
+from repro.runner.plan import CampaignPlan
+from repro.runner.supervisor import (
+    HostFaultInjector,
+    SupervisorConfig,
+    backoff_delay,
+    call_with_deadline,
+)
+
+__all__ = [
+    "Job",
+    "JobFailure",
+    "SuiteReport",
+    "SuiteRunner",
+    "CampaignInterrupted",
+    "run_plan",
+    "format_suite_table",
+]
+
+#: Row/report keys carrying wall-clock values; stripped by the stable view.
+_VOLATILE_KEYS = ("duration_s",)
+
+
+class CampaignInterrupted(KeyboardInterrupt):
+    """SIGINT during a campaign, after the ledger was checkpointed.
+
+    Subclasses :class:`KeyboardInterrupt` so an uncaught interrupt
+    still behaves like one; the CLI catches it to print the resume
+    hint and exit 130.
+    """
+
+    def __init__(
+        self, ledger_path: Optional[str], completed: int, total: int
+    ) -> None:
+        self.ledger_path = ledger_path
+        self.completed = completed
+        self.total = total
+        if ledger_path:
+            self.resume_hint = (
+                f"checkpointed {completed}/{total} jobs to {ledger_path}; "
+                f"rerun with --resume to continue"
+            )
+        else:
+            self.resume_hint = (
+                f"stopped after {completed}/{total} jobs "
+                f"(no --ledger, so nothing to resume)"
+            )
+        super().__init__(self.resume_hint)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One supervised unit of work: a key, a label, and a callable.
+
+    ``fn`` must return a JSON-native dict (that is what the ledger
+    stores and the resume path replays). ``meta`` is merged into the
+    report row so downstream tooling can group/filter without parsing
+    labels.
+    """
+
+    key: str
+    label: str
+    fn: Callable[[], dict]
+    index: int
+    deadline_s: Optional[float] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured record of a job that was quarantined."""
+
+    kind: str  # "timeout" | "retryable" | "poisoned"
+    error: str
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "error": self.error}
+
+
+@dataclass
+class SuiteReport:
+    """Aggregate result of one campaign: one row per job, in plan order."""
+
+    name: str
+    rows: List[dict] = field(default_factory=list)
+    n_resumed: int = 0
+    duration_s: float = 0.0
+    ledger_path: Optional[str] = None
+    #: True when ``max_jobs`` stopped the campaign before the plan's end.
+    partial: bool = False
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {"ok": 0, "failed": 0}
+        for row in self.rows:
+            out[row["status"]] = out.get(row["status"], 0) + 1
+        return out
+
+    def failures(self) -> List[dict]:
+        return [row for row in self.rows if row["status"] == "failed"]
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "counts": self.counts(),
+            "rows": self.rows,
+            "n_resumed": self.n_resumed,
+            "duration_s": self.duration_s,
+        }
+
+    def stable_dict(self) -> dict:
+        """The deterministic view: wall-clock and resume bookkeeping
+        stripped, byte-identical across kill/resume cycles."""
+        payload = {
+            "name": self.name,
+            "counts": self.counts(),
+            "rows": _strip_volatile(self.rows),
+        }
+        return payload
+
+
+def _strip_volatile(value):
+    if isinstance(value, dict):
+        return {
+            key: _strip_volatile(nested)
+            for key, nested in value.items()
+            if key not in _VOLATILE_KEYS
+        }
+    if isinstance(value, list):
+        return [_strip_volatile(item) for item in value]
+    return value
+
+
+class SuiteRunner:
+    """Runs jobs sequentially under one supervision/ledger discipline."""
+
+    def __init__(
+        self,
+        config: Optional[SupervisorConfig] = None,
+        ledger: Optional[RunLedger] = None,
+        faults=None,
+    ) -> None:
+        self.config = config or SupervisorConfig()
+        self.ledger = ledger
+        self.host_faults = (
+            HostFaultInjector(faults) if faults is not None else None
+        )
+        self._sleep = time.sleep  # patched in tests
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[Job], name: str = "campaign") -> SuiteReport:
+        recorder = obs.get_recorder()
+        report = SuiteReport(
+            name=name,
+            ledger_path=str(self.ledger.path) if self.ledger else None,
+        )
+        started = time.perf_counter()
+        rows: List[Optional[dict]] = [None] * len(jobs)
+        completed = 0
+        try:
+            for position, job in enumerate(jobs):
+                cached = (
+                    self.ledger.completed.get(job.key)
+                    if self.ledger is not None
+                    else None
+                )
+                if cached is not None:
+                    rows[position] = dict(cached["row"])
+                    report.n_resumed += 1
+                    completed += 1
+                    recorder.event(
+                        "runner.job.resumed",
+                        key=job.key,
+                        label=job.label,
+                        index=job.index,
+                    )
+                    obs.metrics.counter(
+                        "runner.jobs", "campaign jobs by terminal status"
+                    ).labels(status="resumed").inc()
+                    continue
+                rows[position] = self._run_one(job, recorder)
+                completed += 1
+        except KeyboardInterrupt:
+            raise CampaignInterrupted(
+                report.ledger_path, completed, len(jobs)
+            ) from None
+        finally:
+            if self.ledger is not None:
+                self.ledger.close()
+        report.rows = [row for row in rows if row is not None]
+        report.duration_s = round(time.perf_counter() - started, 6)
+        return report
+
+    # ------------------------------------------------------------------
+    def _run_one(self, job: Job, recorder) -> dict:
+        deadline = (
+            job.deadline_s
+            if job.deadline_s is not None
+            else self.config.deadline_s
+        )
+        attempts = 0
+        job_started = time.perf_counter()
+        failure: Optional[JobFailure] = None
+        result: Optional[dict] = None
+        while True:
+            attempts += 1
+            if self.ledger is not None:
+                self.ledger.job_started(job.key, job.index, attempts)
+            recorder.event(
+                "runner.job.start",
+                key=job.key,
+                label=job.label,
+                index=job.index,
+                attempt=attempts,
+            )
+            fn = job.fn
+            if self.host_faults:
+                fn = self.host_faults.wrap(fn, job.index, attempts)
+            try:
+                result = call_with_deadline(fn, deadline, label=job.label)
+                break
+            except KeyboardInterrupt:
+                raise
+            except RetryableError as exc:
+                kind = (
+                    "timeout"
+                    if isinstance(exc, JobTimeoutError)
+                    else "retryable"
+                )
+                if attempts > self.config.max_retries:
+                    failure = JobFailure(kind=kind, error=str(exc))
+                    break
+                delay = backoff_delay(self.config, job.index, attempts)
+                if self.ledger is not None:
+                    self.ledger.job_retried(
+                        job.key, attempts, str(exc), delay
+                    )
+                recorder.event(
+                    "runner.job.retry",
+                    key=job.key,
+                    label=job.label,
+                    attempt=attempts,
+                    error=str(exc),
+                    backoff_s=round(delay, 6),
+                )
+                obs.metrics.counter(
+                    "runner.retries", "job attempts retried, by failure kind"
+                ).labels(kind=kind).inc()
+                if delay > 0:
+                    self._sleep(delay)
+            except Exception as exc:  # noqa: BLE001 - poisoned input
+                failure = JobFailure(
+                    kind="poisoned",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                break
+
+        duration = round(time.perf_counter() - job_started, 6)
+        row: Dict[str, object] = {
+            "index": job.index,
+            "key": job.key,
+            "label": job.label,
+            **job.meta,
+        }
+        if failure is None:
+            row.update(
+                status="ok", attempts=attempts, result=result,
+                duration_s=duration,
+            )
+            if self.ledger is not None:
+                self.ledger.job_done(job.key, row)
+            recorder.event(
+                "runner.job.done",
+                key=job.key,
+                label=job.label,
+                attempts=attempts,
+            )
+            obs.metrics.counter(
+                "runner.jobs", "campaign jobs by terminal status"
+            ).labels(status="ok").inc()
+        else:
+            row.update(
+                status="failed", attempts=attempts,
+                failure=failure.as_dict(), duration_s=duration,
+            )
+            if self.ledger is not None:
+                self.ledger.job_quarantined(job.key, row)
+            recorder.event(
+                "runner.job.quarantined",
+                key=job.key,
+                label=job.label,
+                attempts=attempts,
+                kind=failure.kind,
+                error=failure.error,
+            )
+            obs.metrics.counter(
+                "runner.jobs", "campaign jobs by terminal status"
+            ).labels(status="failed").inc()
+            obs.metrics.counter(
+                "runner.quarantined", "jobs quarantined, by failure kind"
+            ).labels(kind=failure.kind).inc()
+        return row
+
+
+# ---------------------------------------------------------------------------
+def _evaluate_job_fn(spec) -> Callable[[], dict]:
+    """The job body of one plan entry: build trace, evaluate, report gains."""
+
+    def fn() -> dict:
+        from repro.core.modes import OptimizationMode
+        from repro.experiments.harness import (
+            EvaluationContext,
+            build_trace,
+            default_policy_for,
+            evaluate_schemes,
+            gains_over,
+        )
+        from repro.transmuter.machine import TransmuterModel
+
+        mode = (
+            OptimizationMode.ENERGY_EFFICIENT
+            if spec.mode == "ee"
+            else OptimizationMode.POWER_PERFORMANCE
+        )
+        trace = build_trace(spec.kernel, spec.matrix, scale=spec.scale)
+        context = EvaluationContext(
+            trace=trace,
+            machine=TransmuterModel(bandwidth_gbps=spec.bandwidth_gbps),
+            mode=mode,
+            l1_type=spec.l1_type,
+            policy=default_policy_for(
+                "spmspm" if spec.kernel == "spmspm" else "spmspv"
+            ),
+        )
+        results = evaluate_schemes(context, spec.schemes)
+        gains = gains_over(results)
+        return {
+            "n_epochs": int(trace.n_epochs),
+            "schemes": {
+                name: {
+                    metric: float(value)
+                    for metric, value in values.items()
+                }
+                for name, values in gains.items()
+            },
+        }
+
+    return fn
+
+
+def run_plan(
+    plan: CampaignPlan,
+    config: Optional[SupervisorConfig] = None,
+    ledger_path: Optional[str] = None,
+    resume: bool = False,
+    max_jobs: Optional[int] = None,
+) -> SuiteReport:
+    """Execute a campaign plan under full supervision.
+
+    ``ledger_path`` arms checkpointing (required for ``resume``);
+    ``max_jobs`` stops after that many *newly executed* jobs — a
+    deterministic interruption point used by tests, CI, and sharded
+    campaigns — leaving the ledger resumable.
+    """
+    ledger = (
+        RunLedger(
+            ledger_path,
+            plan_key=plan.key(),
+            plan_name=plan.name,
+            resume=resume,
+        )
+        if ledger_path is not None
+        else None
+    )
+    runner = SuiteRunner(config=config, ledger=ledger, faults=plan.faults)
+    jobs = [
+        Job(
+            key=spec.key(),
+            label=spec.label(),
+            fn=_evaluate_job_fn(spec),
+            index=index,
+            deadline_s=spec.deadline_s,
+            meta={
+                "kernel": spec.kernel,
+                "matrix": spec.matrix,
+                "mode": spec.mode,
+            },
+        )
+        for index, spec in enumerate(plan.jobs)
+    ]
+    if max_jobs is not None:
+        trimmed: List[Job] = []
+        fresh = 0
+        for job in jobs:
+            cached = ledger.completed.get(job.key) if ledger else None
+            if cached is None:
+                if fresh == max_jobs:
+                    break
+                fresh += 1
+            trimmed.append(job)
+        jobs = trimmed
+    report = runner.run(jobs, name=plan.name)
+    report.partial = len(jobs) < len(plan.jobs)
+    return report
+
+
+def format_suite_table(report: SuiteReport) -> str:
+    """Render a suite report as the ``repro suite-run`` table."""
+    counts = report.counts()
+    lines = [
+        f"Campaign {report.name} — {len(report.rows)} jobs "
+        f"({counts.get('ok', 0)} ok, {counts.get('failed', 0)} failed"
+        + (f", {report.n_resumed} resumed from ledger" if report.n_resumed
+           else "")
+        + ")",
+        "",
+        f"{'job':<22} {'status':<8} {'att':>3} {'eff x':>8} {'perf x':>8}",
+    ]
+    for row in report.rows:
+        if row["status"] == "ok":
+            adaptive = (row.get("result") or {}).get("schemes", {}).get(
+                "SparseAdapt"
+            )
+            eff = (
+                f"{adaptive['efficiency_gain']:8.3f}" if adaptive else "     n/a"
+            )
+            perf = (
+                f"{adaptive['perf_gain']:8.3f}" if adaptive else "     n/a"
+            )
+            lines.append(
+                f"{row['label']:<22} {'ok':<8} {row['attempts']:>3d} "
+                f"{eff} {perf}"
+            )
+        else:
+            failure = row.get("failure", {})
+            lines.append(
+                f"{row['label']:<22} {'FAILED':<8} {row['attempts']:>3d} "
+                f"  [{failure.get('kind')}] {failure.get('error')}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""The durable run ledger: what makes a campaign resumable.
+
+A :class:`RunLedger` is an append-only JSONL file recording the life of
+every job in a campaign: ``start`` when an attempt begins, ``retry``
+when a retryable failure schedules another attempt, and a terminal
+``done`` (with the full result row) or ``quarantined`` (with the
+structured failure). Every append is flushed and fsynced, so the ledger
+survives a killed process up to the last completed write; a torn final
+line (the one write a crash can interrupt) is detected and ignored on
+load.
+
+Resume semantics: jobs with a *terminal* row are finished — ``done``
+rows are replayed into the aggregate report byte-for-byte, and
+``quarantined`` rows are likewise trusted (re-running a job that
+exhausted its retry budget would just hang/fail again). Jobs with only
+``start``/``retry`` rows were in flight when the process died and are
+re-run from scratch. Identity is the content-addressed job key
+(:func:`repro.runner.plan.job_key`), so editing unrelated jobs in a
+plan does not invalidate completed work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ConfigError
+from repro.obs.sinks import encode_record
+
+__all__ = ["LEDGER_VERSION", "RunLedger"]
+
+LEDGER_VERSION = 1
+
+
+class RunLedger:
+    """Append-only, fsynced JSONL record of one campaign's progress."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        plan_key: str,
+        plan_name: str = "campaign",
+        resume: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.plan_key = plan_key
+        self.plan_name = plan_name
+        #: Terminal rows by job key (``done`` and ``quarantined`` records).
+        self.completed: Dict[str, dict] = {}
+        #: Keys that have a ``start`` but no terminal row (were in flight).
+        self.in_flight: List[str] = []
+        exists = self.path.exists()
+        if exists and not resume:
+            raise ConfigError(
+                f"ledger {self.path} already exists; pass --resume to "
+                f"continue that campaign or point --ledger elsewhere"
+            )
+        if not exists and resume:
+            raise ConfigError(
+                f"cannot resume: no ledger at {self.path}"
+            )
+        if exists:
+            self._load()
+        self._handle = self.path.open("a", encoding="utf-8")
+        if not exists:
+            self._append(
+                {
+                    "type": "header",
+                    "version": LEDGER_VERSION,
+                    "plan_name": plan_name,
+                    "plan_key": plan_key,
+                }
+            )
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        started: Dict[str, bool] = {}
+        header: Optional[dict] = None
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn final write from a killed process; everything
+                    # before it is intact, so stop here and move on.
+                    break
+                kind = record.get("type")
+                if kind == "header":
+                    header = record
+                elif kind == "start":
+                    started[record["key"]] = True
+                elif kind in ("done", "quarantined"):
+                    self.completed[record["key"]] = record
+        if header is None:
+            raise ConfigError(
+                f"{self.path} is not a run ledger (missing header)"
+            )
+        if header.get("version") != LEDGER_VERSION:
+            raise ConfigError(
+                f"unsupported ledger version {header.get('version')!r} "
+                f"in {self.path}"
+            )
+        if header.get("plan_key") != self.plan_key:
+            raise ConfigError(
+                f"ledger {self.path} belongs to a different plan "
+                f"({header.get('plan_name')!r}); use a fresh ledger path"
+            )
+        self.in_flight = [
+            key for key in started if key not in self.completed
+        ]
+
+    def _append(self, record: dict) -> None:
+        """One durable line: write, flush, fsync."""
+        self._handle.write(encode_record(record) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    # ------------------------------------------------------------------
+    def job_started(self, key: str, index: int, attempt: int) -> None:
+        self._append(
+            {"type": "start", "key": key, "index": index, "attempt": attempt}
+        )
+
+    def job_retried(
+        self, key: str, attempt: int, error: str, backoff_s: float
+    ) -> None:
+        self._append(
+            {
+                "type": "retry",
+                "key": key,
+                "attempt": attempt,
+                "error": error,
+                "backoff_s": round(backoff_s, 6),
+            }
+        )
+
+    def job_done(self, key: str, row: dict) -> None:
+        record = {"type": "done", "key": key, "row": row}
+        self._append(record)
+        self.completed[key] = record
+
+    def job_quarantined(self, key: str, row: dict) -> None:
+        record = {"type": "quarantined", "key": key, "row": row}
+        self._append(record)
+        self.completed[key] = record
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False

@@ -107,6 +107,48 @@ class TestEvaluateSchemes:
             gains_over(results)
 
 
+class TestHarnessErrorPaths:
+    """The harness rejects poisoned inputs with one-line ConfigErrors —
+    the suite runner quarantines on exactly these."""
+
+    def test_empty_trace_rejected(self):
+        from repro.kernels.base import KernelTrace
+
+        context = EvaluationContext(
+            trace=KernelTrace(name="hollow", epochs=[]),
+            machine=TransmuterModel(),
+            mode=EE,
+        )
+        with pytest.raises(ConfigError, match="empty trace 'hollow'"):
+            evaluate_schemes(context, ("Baseline",))
+
+    def test_unknown_matrix_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            build_trace("spmspv", "R99", scale=0.1)
+
+    def test_unknown_scheme_message_names_candidates(self, model_ee):
+        context = EvaluationContext(
+            trace=build_trace("spmspv", "P1", scale=0.12),
+            machine=TransmuterModel(),
+            mode=EE,
+            model=model_ee,
+        )
+        with pytest.raises(ConfigError, match="Quantum"):
+            evaluate_schemes(context, ("Baseline", "Quantum"))
+
+    def test_known_schemes_constant_matches_harness(self):
+        from repro.experiments.harness import (
+            KNOWN_SCHEMES,
+            STANDARD_SCHEMES,
+            UPPER_BOUND_SCHEMES,
+        )
+
+        for name in STANDARD_SCHEMES + UPPER_BOUND_SCHEMES:
+            assert name in KNOWN_SCHEMES
+
+
 class TestPolicyDefaults:
     def test_paper_section54_policy_assignment(self):
         assert isinstance(default_policy_for("spmspm"), ConservativePolicy)

@@ -12,6 +12,7 @@ from repro.errors import FaultError, ReproError
 from repro.faults import (
     COUNTER_FAULTS,
     FAULT_KINDS,
+    HOST_FAULTS,
     MACHINE_FAULTS,
     RECONFIG_FAULTS,
     FaultInjector,
@@ -42,7 +43,9 @@ def clean_counters(machine, spmspv_trace):
 
 class TestFaultSpec:
     def test_all_kinds_partitioned(self):
-        assert FAULT_KINDS == COUNTER_FAULTS + RECONFIG_FAULTS + MACHINE_FAULTS
+        assert FAULT_KINDS == (
+            COUNTER_FAULTS + RECONFIG_FAULTS + MACHINE_FAULTS + HOST_FAULTS
+        )
         assert len(set(FAULT_KINDS)) == len(FAULT_KINDS)
 
     def test_every_kind_constructs(self):
@@ -122,9 +125,12 @@ class TestFaultSchedule:
             FaultSchedule(seed=True)
 
     def test_scaled_and_kinds(self):
+        # The built-in mixed schedule covers the hardware kinds; host
+        # kinds (job_hang/job_crash) are campaign-level, opt-in only.
+        hardware = COUNTER_FAULTS + RECONFIG_FAULTS + MACHINE_FAULTS
         schedule = mixed_schedule(0.2, seed=3)
-        assert len(schedule) == len(FAULT_KINDS)
-        assert set(schedule.kinds()) == set(FAULT_KINDS)
+        assert len(schedule) == len(hardware)
+        assert set(schedule.kinds()) == set(hardware)
         half = schedule.scaled(0.5)
         assert half.seed == 3
         for spec, scaled in zip(schedule.specs, half.specs):
@@ -387,3 +393,98 @@ class TestApplyTransition:
         assert outcome.actual == MAX_CFG
         assert outcome.dropped == ()
         assert outcome.complete
+
+
+class TestHostFaultKinds:
+    """The host-level ``job_hang``/``job_crash`` kinds: spec validation
+    and the layer split (epoch injector ignores them; the suite runner
+    consumes them — see also tests/test_runner.py)."""
+
+    def test_kinds_registered(self):
+        assert HOST_FAULTS == ("job_hang", "job_crash")
+        for kind in HOST_FAULTS:
+            assert kind in FAULT_KINDS
+
+    def test_job_hang_seconds_validated(self):
+        spec = FaultSpec(kind="job_hang", params={"seconds": 2.5})
+        assert spec.params["seconds"] == 2.5
+        FaultSpec(kind="job_hang")  # default seconds is fine
+        for bad in (0, -1.0, "soon", True):
+            with pytest.raises(FaultError, match="seconds"):
+                FaultSpec(kind="job_hang", params={"seconds": bad})
+
+    def test_job_crash_takes_no_params(self):
+        with pytest.raises(FaultError, match="unknown param"):
+            FaultSpec(kind="job_crash", params={"seconds": 1.0})
+
+    def test_schedule_file_round_trip(self, tmp_path):
+        schedule = FaultSchedule(
+            specs=(
+                FaultSpec(kind="job_hang", rate=0.5, params={"seconds": 4.0}),
+                FaultSpec(kind="job_crash", rate=0.25, end_epoch=8),
+            ),
+            seed=6,
+        )
+        path = tmp_path / "host.json"
+        schedule.save(path)
+        assert FaultSchedule.from_file(path) == schedule
+
+    def test_epoch_injector_ignores_host_kinds(self, clean_counters):
+        """A mixed hardware+host schedule drives the epoch injector
+        exactly as the hardware-only schedule would."""
+        noise = FaultSpec(kind="counter_noise", severity=0.2, seed=5)
+        hang = FaultSpec(kind="job_hang", rate=1.0, seed=9)
+
+        def drive(schedule):
+            injector = FaultInjector(schedule)
+            out = []
+            for epoch, counters in enumerate(clean_counters):
+                injector.environment(epoch)
+                seen, _ = injector.observe(epoch, counters)
+                out.append(seen.as_dict())
+            return injector, out
+
+        hardware_only, a = drive(FaultSchedule(specs=(noise,), seed=0))
+        mixed, b = drive(FaultSchedule(specs=(noise, hang), seed=0))
+        assert a == b
+        assert hardware_only.counts() == mixed.counts()
+        assert "job_hang" not in mixed.counts()
+
+
+class TestCampaignHostFaults:
+    def test_crashing_rate_job_is_quarantined(self):
+        """A rate-1.0 ``job_crash`` window turns exactly that rate job
+        into a failure row; the rest of the sweep still completes."""
+        from repro.faults import run_campaign
+        from repro.runner import SupervisorConfig
+
+        schedule = FaultSchedule(
+            specs=(
+                FaultSpec(kind="counter_noise", rate=0.3, severity=0.2),
+                FaultSpec(
+                    kind="job_crash", rate=1.0, start_epoch=1, end_epoch=2
+                ),
+            ),
+            seed=4,
+        )
+        result = run_campaign(
+            schedule,
+            rates=(0.0, 0.5, 1.0),
+            kernel="spmspv",
+            matrix_id="P1",
+            scale=0.12,
+            include_unhardened=False,
+            runner_config=SupervisorConfig(
+                max_retries=1, backoff_base_s=0.0
+            ),
+        )
+        assert len(result.rows) == 3
+        failed = [row for row in result.rows if "failure" in row]
+        assert len(failed) == 1
+        assert failed[0]["rate_scale"] == 0.5
+        assert failed[0]["failure"]["kind"] == "retryable"
+        assert "injected job_crash" in failed[0]["failure"]["error"]
+        assert failed[0]["attempts"] == 2
+        for row in result.rows:
+            if "failure" not in row:
+                assert "hardened" in row

@@ -129,6 +129,61 @@ class TestFileSink:
         assert record["attrs"]["what"] == ["a", "b"]
         assert "object" in record["attrs"]["obj"]
 
+    def test_streams_to_part_file_until_closed(self, tmp_path):
+        """A killed run leaves only the ``.part`` file — the final path
+        either holds a complete trace or nothing."""
+        path = tmp_path / "trace.jsonl"
+        sink = FileSink(path)
+        sink.emit({"seq": 0})
+        assert not path.exists()
+        assert path.with_name("trace.jsonl.part").exists()
+        sink.close()
+        assert path.exists()
+        assert not path.with_name("trace.jsonl.part").exists()
+        assert read_jsonl(path) == [{"seq": 0}]
+
+
+class TestAtomicWrites:
+    def test_write_atomic_leaves_no_temp_files(self, tmp_path):
+        from repro.obs.sinks import write_atomic
+
+        path = tmp_path / "out.json"
+        write_atomic(path, '{"ok": 1}\n')
+        assert path.read_text(encoding="utf-8") == '{"ok": 1}\n'
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_failed_write_preserves_previous_contents(self, tmp_path):
+        from repro.obs.sinks import atomic_writer
+
+        path = tmp_path / "out.json"
+        path.write_text("previous", encoding="utf-8")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(path) as handle:
+                handle.write("half-writ")
+                raise RuntimeError("killed mid-write")
+        assert path.read_text(encoding="utf-8") == "previous"
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_model_save_is_atomic(self, tmp_path, model_ee, monkeypatch):
+        """An interrupted ``save_model`` never truncates an existing
+        model file on disk."""
+        import repro.core.persistence as persistence
+
+        path = tmp_path / "model.json"
+        persistence.save_model(model_ee, path)
+        original = path.read_text(encoding="utf-8")
+        loaded = persistence.load_model(path)
+        assert loaded.describe() == model_ee.describe()
+
+        def exploding_dumps(*args, **kwargs):
+            raise RuntimeError("interrupted")
+
+        monkeypatch.setattr(persistence.json, "dumps", exploding_dumps)
+        with pytest.raises(RuntimeError):
+            persistence.save_model(model_ee, path)
+        assert path.read_text(encoding="utf-8") == original
+        assert list(tmp_path.iterdir()) == [path]
+
 
 class TestInstallAndRecording:
     def test_install_swaps_and_restores(self):
