@@ -93,3 +93,115 @@ def test_runner_overhead(benchmark, emit):
         f"(budget {MAX_OVERHEAD_S * 1e6:.0f} us)"
     )
     run_once(benchmark, lambda: _supervised(config))
+
+
+# ---------------------------------------------------------------------------
+#: Sleep jobs of the scheduling-bound speedup measurement.
+N_SLEEP_JOBS = 8
+SLEEP_S = 0.25
+
+#: Parallel fan-out of the speedup measurements.
+N_WORKERS = 4
+
+#: Required speedup of --workers 4 over --workers 1 on sleep jobs.
+MIN_SLEEP_SPEEDUP = 2.0
+
+#: Required speedup on the Table-5 plan — only asserted on hosts with
+#: enough cores to make a compute-bound speedup physically possible.
+MIN_PLAN_SPEEDUP = 2.0
+
+
+def _sleep_portable_jobs():
+    from repro.runner import PortableJob
+
+    return [
+        PortableJob(
+            kind="sleep",
+            key=f"sleep{index:02d}",
+            label=f"sleep/{index}",
+            index=index,
+            payload={"seconds": SLEEP_S, "value": index},
+        )
+        for index in range(N_SLEEP_JOBS)
+    ]
+
+
+def _time_portable(workers: int) -> float:
+    import time
+
+    runner = SuiteRunner(
+        config=SupervisorConfig(max_retries=0), workers=workers
+    )
+    start = time.perf_counter()
+    report = runner.run_portable(_sleep_portable_jobs(), plan_key="bench")
+    elapsed = time.perf_counter() - start
+    assert report.counts() == {"ok": N_SLEEP_JOBS, "failed": 0}
+    return elapsed
+
+
+def _time_table5(workers: int) -> float:
+    import time
+
+    from repro.runner import run_plan, table5_plan
+
+    plan = table5_plan(scale=0.15, schemes=("Baseline", "Best Avg"))
+    start = time.perf_counter()
+    report = run_plan(
+        plan, config=SupervisorConfig(max_retries=0), workers=workers
+    )
+    elapsed = time.perf_counter() - start
+    assert report.counts() == {"ok": 16, "failed": 0}
+    return elapsed
+
+
+def test_workers_speedup(benchmark, emit):
+    """--workers N must actually buy wall-clock.
+
+    Two measurements: (1) scheduling-bound sleep jobs, where the
+    speedup depends only on the executor's fan-out working — asserted
+    everywhere, including single-core CI runners; (2) the built-in
+    Table-5 plan (statics-only so the benchmark stays seconds, not
+    minutes), compute-bound — asserted only where >= ``N_WORKERS``
+    cores exist for the workers to land on.
+    """
+    import os
+
+    serial_sleep = _time_portable(1)
+    parallel_sleep = _time_portable(N_WORKERS)
+    sleep_speedup = serial_sleep / parallel_sleep
+
+    serial_plan = _time_table5(1)
+    parallel_plan = _time_table5(N_WORKERS)
+    plan_speedup = serial_plan / parallel_plan
+
+    cores = os.cpu_count() or 1
+    emit(
+        "\n".join(
+            [
+                f"parallel campaign speedup (--workers {N_WORKERS} "
+                f"vs 1, {cores} cores)",
+                f"  sleep jobs ({N_SLEEP_JOBS} x {SLEEP_S:.2f}s): "
+                f"{serial_sleep:6.3f}s -> {parallel_sleep:6.3f}s "
+                f"({sleep_speedup:4.2f}x, floor {MIN_SLEEP_SPEEDUP:.1f}x)",
+                f"  table-5 plan (16 jobs):      "
+                f"{serial_plan:6.3f}s -> {parallel_plan:6.3f}s "
+                f"({plan_speedup:4.2f}x"
+                + (
+                    f", floor {MIN_PLAN_SPEEDUP:.1f}x)"
+                    if cores >= N_WORKERS
+                    else f", floor waived: {cores} core(s))"
+                ),
+            ]
+        )
+    )
+    assert sleep_speedup >= MIN_SLEEP_SPEEDUP, (
+        f"--workers {N_WORKERS} sped sleep jobs up only "
+        f"{sleep_speedup:.2f}x (need >= {MIN_SLEEP_SPEEDUP:.1f}x)"
+    )
+    if cores >= N_WORKERS:
+        assert plan_speedup >= MIN_PLAN_SPEEDUP, (
+            f"--workers {N_WORKERS} sped the Table-5 plan up only "
+            f"{plan_speedup:.2f}x (need >= {MIN_PLAN_SPEEDUP:.1f}x "
+            f"on {cores} cores)"
+        )
+    run_once(benchmark, lambda: _time_portable(N_WORKERS))

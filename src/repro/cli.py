@@ -38,7 +38,12 @@ Commands
     Run a supervised campaign from a plan file (or the built-in
     Table-5 plan): per-job deadlines, bounded retries, quarantine for
     poisoned inputs, and a durable run ledger that makes the campaign
-    resumable with ``--resume``.
+    resumable with ``--resume``. ``--workers N`` shards the pending
+    jobs across N processes with byte-identical results.
+``suite-report``
+    Summarize a past campaign's run ledger without re-running it (job
+    counts, retries, quarantine taxonomy, per-worker timing), or diff
+    two ledgers' terminal rows with ``--diff``.
 
 Every library failure (bad arguments, malformed spec files, unknown
 fault kinds, ...) exits 1 with a one-line ``error: ...`` on stderr —
@@ -387,9 +392,17 @@ def build_parser() -> argparse.ArgumentParser:
         "ledger resumable (campaign sharding, CI smoke)",
     )
     suite_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes to shard pending jobs across "
+        "(default 1 = in-process; results are byte-identical "
+        "at any count)",
+    )
+    suite_run.add_argument(
         "--faults",
-        help="fault schedule JSON; its job_hang/job_crash kinds are "
-        "applied per job attempt (see docs/robustness.md)",
+        help="fault schedule JSON; its job_hang/job_crash/job_oom kinds "
+        "are applied per job attempt (see docs/robustness.md)",
     )
     suite_run.add_argument(
         "--json",
@@ -399,6 +412,26 @@ def build_parser() -> argparse.ArgumentParser:
     suite_run.add_argument(
         "--out",
         help="also write the suite report JSON to this path (atomically)",
+    )
+
+    suite_report = commands.add_parser(
+        "suite-report",
+        help="summarize or diff past campaign ledgers without re-running",
+    )
+    suite_report.add_argument(
+        "ledger",
+        help="run ledger (or worker shard) JSONL file to summarize",
+    )
+    suite_report.add_argument(
+        "--diff",
+        metavar="OTHER",
+        help="second ledger: diff terminal rows (stable view, "
+        "wall-clock stripped) instead of summarizing",
+    )
+    suite_report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary/diff as JSON instead of text",
     )
 
     return parser
@@ -754,6 +787,10 @@ def _command_suite_run(args) -> int:
         raise ConfigError(
             f"--max-jobs must be at least 1, got {args.max_jobs}"
         )
+    if args.workers < 1:
+        raise ConfigError(
+            f"--workers must be at least 1, got {args.workers}"
+        )
     if args.plan:
         plan = CampaignPlan.from_file(args.plan)
     else:
@@ -773,6 +810,7 @@ def _command_suite_run(args) -> int:
         ledger_path=args.ledger,
         resume=args.resume,
         max_jobs=args.max_jobs,
+        workers=args.workers,
     )
     payload = _to_jsonable(report.as_dict())
     if args.out:
@@ -792,6 +830,29 @@ def _command_suite_run(args) -> int:
             f"new jobs{hint}",
             file=sys.stderr,
         )
+    return 0
+
+
+def _command_suite_report(args) -> int:
+    from repro.runner.report import (
+        diff_ledgers,
+        format_ledger_diff,
+        format_ledger_summary,
+        summarize_ledger,
+    )
+
+    if args.diff:
+        diff = diff_ledgers(args.ledger, args.diff)
+        if args.json:
+            print(json.dumps(_to_jsonable(diff), indent=2, sort_keys=True))
+        else:
+            print(format_ledger_diff(diff))
+        return 0 if diff["identical"] else 3
+    summary = summarize_ledger(args.ledger)
+    if args.json:
+        print(json.dumps(_to_jsonable(summary), indent=2, sort_keys=True))
+    else:
+        print(format_ledger_summary(summary))
     return 0
 
 
@@ -949,6 +1010,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "diff": lambda: _command_diff(args),
         "faults": lambda: _command_faults(args),
         "suite-run": lambda: _command_suite_run(args),
+        "suite-report": lambda: _command_suite_report(args),
     }
     try:
         return handlers[args.command]()

@@ -38,11 +38,15 @@ Kind                   Effect when it fires
                        (a wedged kernel/driver); the suite runner's
                        deadline watchdog is what catches it.
 ``job_crash``          Host-level: a campaign job dies mid-run with a
-                       retryable error (an OOM-killed or segfaulted
-                       worker, from the supervisor's point of view).
+                       retryable error (a segfaulted worker, from the
+                       supervisor's point of view).
+``job_oom``            Host-level: a campaign job aborts under memory
+                       pressure (:class:`MemoryError`); the suite runner
+                       quarantines it immediately — rerunning the same
+                       job at the same scale would just OOM again.
 =====================  ====================================================
 
-The two ``job_*`` kinds are interpreted by :mod:`repro.runner`, not by
+The ``job_*`` kinds are interpreted by :mod:`repro.runner`, not by
 the :class:`~repro.faults.injector.FaultInjector` — their window and
 rate apply per campaign *job attempt* instead of per epoch. A schedule
 may mix host-level and hardware kinds; each layer consumes its own.
@@ -83,7 +87,7 @@ COUNTER_FAULTS: Tuple[str, ...] = (
 RECONFIG_FAULTS: Tuple[str, ...] = ("reconfig_drop", "reconfig_partial")
 MACHINE_FAULTS: Tuple[str, ...] = ("bandwidth_throttle", "thermal_clamp")
 #: Host-level kinds, interpreted per job attempt by ``repro.runner``.
-HOST_FAULTS: Tuple[str, ...] = ("job_hang", "job_crash")
+HOST_FAULTS: Tuple[str, ...] = ("job_hang", "job_crash", "job_oom")
 
 #: Every fault kind the framework understands (hardware + host level).
 FAULT_KINDS: Tuple[str, ...] = (

@@ -8,12 +8,18 @@ This package is the host-side execution layer that guarantees it:
 * :mod:`repro.runner.plan` — declarative campaign plans (JSON files or
   the built-in Table-5 plan) and content-addressed job keys;
 * :mod:`repro.runner.ledger` — the durable, fsynced JSONL run ledger
-  that makes any campaign resumable;
+  that makes any campaign resumable, plus the per-worker shard
+  read/merge machinery behind parallel campaigns;
 * :mod:`repro.runner.supervisor` — per-job deadline watchdog, retry
-  backoff, and the host-level (``job_hang``/``job_crash``) fault
-  injector;
+  backoff, and the host-level (``job_hang``/``job_crash``/``job_oom``)
+  fault injector;
+* :mod:`repro.runner.worker` — portable job descriptions and the
+  child-process entry point parallel campaigns fan out to;
 * :mod:`repro.runner.executor` — the :class:`SuiteRunner` tying them
-  together, plus :func:`run_plan` behind ``repro suite-run``.
+  together (serial or ``workers=N`` sharded), plus :func:`run_plan`
+  behind ``repro suite-run``;
+* :mod:`repro.runner.report` — post-hoc ledger summaries and diffs
+  behind ``repro suite-report``.
 
 ``repro faults`` and ``repro experiment`` route their multi-job work
 through the same :class:`SuiteRunner`, so supervision, retries, and
@@ -29,12 +35,26 @@ from repro.runner.executor import (
     format_suite_table,
     run_plan,
 )
-from repro.runner.ledger import RunLedger
+from repro.runner.ledger import (
+    RunLedger,
+    list_shards,
+    merge_shards,
+    read_ledger_records,
+    read_shard,
+    recover_shards,
+    shard_path,
+)
 from repro.runner.plan import CampaignPlan, JobSpec, job_key, table5_plan
 from repro.runner.supervisor import (
     HostFaultInjector,
     SupervisorConfig,
     call_with_deadline,
+)
+from repro.runner.worker import (
+    PortableJob,
+    build_job,
+    plan_portable_jobs,
+    run_worker_shard,
 )
 
 __all__ = [
@@ -44,13 +64,23 @@ __all__ = [
     "Job",
     "JobFailure",
     "JobSpec",
+    "PortableJob",
     "RunLedger",
     "SuiteReport",
     "SuiteRunner",
     "SupervisorConfig",
+    "build_job",
     "call_with_deadline",
     "format_suite_table",
     "job_key",
+    "list_shards",
+    "merge_shards",
+    "plan_portable_jobs",
+    "read_ledger_records",
+    "read_shard",
+    "recover_shards",
     "run_plan",
+    "run_worker_shard",
+    "shard_path",
     "table5_plan",
 ]

@@ -9,12 +9,24 @@ after every terminal row, and clean SIGINT checkpointing. A failed job
 becomes a ``failed`` row in the :class:`SuiteReport` — the sweep always
 finishes.
 
+Parallel campaigns (``workers > 1``) fan the pending jobs out over a
+``ProcessPoolExecutor``: worker ``k`` runs its slice under the *same*
+supervision discipline in a child process, checkpointing into a private
+``<ledger>.w<k>`` shard, and the parent merges the shards back into the
+canonical ledger in plan order (:func:`repro.runner.ledger.merge_shards`).
+Because job identity is content-addressed, retry jitter is seeded per
+job, and host-fault draws are stateless per ``(seed, spec, job,
+attempt)``, the merged ledger and report are byte-identical to a serial
+run's — modulo wall-clock fields — regardless of worker count or
+completion order.
+
 Determinism contract: given the same plan, seeds, and code, the
 report's :meth:`SuiteReport.stable_dict` is byte-identical whether the
-campaign ran uninterrupted or was killed and resumed any number of
-times. Everything wall-clock lives in fields the stable view strips
-(``duration_s`` at the report and row levels); everything else in a row
-is replayed from the ledger verbatim on resume.
+campaign ran uninterrupted, was killed and resumed any number of times,
+or ran under any ``--workers`` count. Everything wall-clock lives in
+fields the stable view strips (``duration_s`` at the report and row
+levels); everything else in a row is replayed from the ledger verbatim
+on resume.
 
 ``repro suite-run`` fronts :func:`run_plan`; the ``repro faults``
 campaign driver and ``repro experiment`` submit their own job lists
@@ -24,19 +36,41 @@ repository shares one supervision/retry/ledger code path.
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
-from repro.errors import JobTimeoutError, ReproError, RetryableError
-from repro.runner.ledger import RunLedger
+from repro.errors import (
+    ConfigError,
+    JobTimeoutError,
+    ReproError,
+    RetryableError,
+)
+from repro.runner.ledger import (
+    RunLedger,
+    list_shards,
+    merge_shards,
+    read_shard,
+    recover_shards,
+    shard_path,
+)
 from repro.runner.plan import CampaignPlan
 from repro.runner.supervisor import (
     HostFaultInjector,
     SupervisorConfig,
     backoff_delay,
     call_with_deadline,
+)
+from repro.runner.worker import (
+    PortableJob,
+    build_job,
+    plan_portable_jobs,
+    run_worker_shard,
 )
 
 __all__ = [
@@ -58,7 +92,9 @@ class CampaignInterrupted(KeyboardInterrupt):
 
     Subclasses :class:`KeyboardInterrupt` so an uncaught interrupt
     still behaves like one; the CLI catches it to print the resume
-    hint and exit 130.
+    hint and exit 130. In a parallel campaign the parent fans the
+    signal out to every worker, drains their shards into the canonical
+    ledger, and raises this once — one resume hint, not N.
     """
 
     def __init__(
@@ -102,7 +138,7 @@ class Job:
 class JobFailure:
     """Structured record of a job that was quarantined."""
 
-    kind: str  # "timeout" | "retryable" | "poisoned"
+    kind: str  # "timeout" | "retryable" | "poisoned" | "oom"
     error: str
 
     def as_dict(self) -> dict:
@@ -141,7 +177,8 @@ class SuiteReport:
 
     def stable_dict(self) -> dict:
         """The deterministic view: wall-clock and resume bookkeeping
-        stripped, byte-identical across kill/resume cycles."""
+        stripped, byte-identical across kill/resume cycles and worker
+        counts."""
         payload = {
             "name": self.name,
             "counts": self.counts(),
@@ -163,20 +200,42 @@ def _strip_volatile(value):
 
 
 class SuiteRunner:
-    """Runs jobs sequentially under one supervision/ledger discipline."""
+    """Runs jobs under one supervision/ledger discipline.
+
+    ``workers=1`` (default) executes sequentially in-process;
+    ``workers=N`` shards portable jobs across N child processes (only
+    :meth:`run_portable` can parallelize — :meth:`run` takes live
+    callables, which cannot cross a process boundary). ``worker`` is
+    the rank when this runner *is* a child executing one shard; it is
+    attributed on every ``runner.job.*`` event the runner emits.
+    """
 
     def __init__(
         self,
         config: Optional[SupervisorConfig] = None,
         ledger: Optional[RunLedger] = None,
         faults=None,
+        workers: int = 1,
+        worker: Optional[int] = None,
     ) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers!r}")
         self.config = config or SupervisorConfig()
         self.ledger = ledger
+        self.workers = workers
+        self.worker = worker
+        self.faults_schedule = faults
         self.host_faults = (
             HostFaultInjector(faults) if faults is not None else None
         )
         self._sleep = time.sleep  # patched in tests
+
+    # ------------------------------------------------------------------
+    def _emit(self, recorder, name: str, **attrs) -> None:
+        """Trace event with per-worker attribution when sharded."""
+        if self.worker is not None:
+            attrs["worker"] = self.worker
+        recorder.event(name, **attrs)
 
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[Job], name: str = "campaign") -> SuiteReport:
@@ -199,7 +258,8 @@ class SuiteRunner:
                     rows[position] = dict(cached["row"])
                     report.n_resumed += 1
                     completed += 1
-                    recorder.event(
+                    self._emit(
+                        recorder,
                         "runner.job.resumed",
                         key=job.key,
                         label=job.label,
@@ -223,6 +283,284 @@ class SuiteRunner:
         return report
 
     # ------------------------------------------------------------------
+    def run_portable(
+        self,
+        jobs: Sequence[PortableJob],
+        name: str = "campaign",
+        plan_key: Optional[str] = None,
+    ) -> SuiteReport:
+        """Run portable job descriptions, parallel when ``workers > 1``.
+
+        The serial path rebuilds each description into a live
+        :class:`Job` and delegates to :meth:`run`, so both paths share
+        the retry/quarantine/ledger machinery exactly.
+        """
+        if self.workers <= 1 or len(jobs) <= 1:
+            return self.run([build_job(job) for job in jobs], name=name)
+        return self._run_parallel(jobs, name=name, plan_key=plan_key)
+
+    # ------------------------------------------------------------------
+    def _run_parallel(
+        self,
+        jobs: Sequence[PortableJob],
+        name: str,
+        plan_key: Optional[str] = None,
+    ) -> SuiteReport:
+        """Shard pending jobs across worker processes and merge back."""
+        import concurrent.futures as cf
+
+        recorder = obs.get_recorder()
+        report = SuiteReport(
+            name=name,
+            ledger_path=str(self.ledger.path) if self.ledger else None,
+        )
+        started = time.perf_counter()
+        rows: Dict[int, dict] = {}
+        pending: List[PortableJob] = []
+        for job in jobs:
+            cached = (
+                self.ledger.completed.get(job.key)
+                if self.ledger is not None
+                else None
+            )
+            if cached is not None:
+                rows[job.index] = dict(cached["row"])
+                report.n_resumed += 1
+                self._emit(
+                    recorder,
+                    "runner.job.resumed",
+                    key=job.key,
+                    label=job.label,
+                    index=job.index,
+                )
+                obs.metrics.counter(
+                    "runner.jobs", "campaign jobs by terminal status"
+                ).labels(status="resumed").inc()
+            else:
+                pending.append(job)
+        if not pending:
+            if self.ledger is not None:
+                self.ledger.close()
+            report.rows = [rows[i] for i in sorted(rows)]
+            report.duration_s = round(time.perf_counter() - started, 6)
+            return report
+
+        if plan_key is None:
+            plan_key = (
+                self.ledger.plan_key if self.ledger is not None else name
+            )
+        n_workers = min(self.workers, len(pending))
+        obs.metrics.gauge(
+            "runner.workers",
+            "worker processes of the last parallel campaign",
+        ).set(n_workers)
+
+        tempdir: Optional[str] = None
+        if self.ledger is not None:
+            base = self.ledger.path
+        else:
+            # No canonical ledger: shards still carry the results across
+            # the process boundary, they just live in a throwaway dir.
+            tempdir = tempfile.mkdtemp(prefix="repro-shards-")
+            base = Path(tempdir) / "campaign.jsonl"
+
+        # Round-robin over pending order: worker k gets pending[k::N].
+        partitions = [
+            pending[rank::n_workers] for rank in range(n_workers)
+        ]
+        config_dict = asdict(self.config)
+        faults_dict = (
+            self.faults_schedule.as_dict()
+            if self.faults_schedule is not None
+            else None
+        )
+        summaries: List[dict] = []
+        worker_errors: List[Tuple[int, str]] = []
+        interrupted = False
+        shards = []
+        try:
+            pool = cf.ProcessPoolExecutor(max_workers=n_workers)
+            try:
+                futures = {}
+                for rank, part in enumerate(partitions):
+                    self._emit(
+                        recorder,
+                        "runner.worker.spawn",
+                        worker=rank,
+                        jobs=len(part),
+                    )
+                    payload = {
+                        "worker": rank,
+                        "shard_path": str(shard_path(base, rank)),
+                        "plan_key": plan_key,
+                        "plan_name": name,
+                        "config": config_dict,
+                        "faults": faults_dict,
+                        "jobs": [job.as_dict() for job in part],
+                    }
+                    futures[pool.submit(run_worker_shard, payload)] = rank
+                try:
+                    for future in cf.as_completed(futures):
+                        rank = futures[future]
+                        try:
+                            summary = future.result()
+                        except KeyboardInterrupt:
+                            raise
+                        except BaseException as exc:  # noqa: BLE001
+                            # A worker died hard (BrokenProcessPool,
+                            # pickling failure, ...): its fsynced shard
+                            # is still merged below.
+                            error = f"{type(exc).__name__}: {exc}"
+                            worker_errors.append((rank, error))
+                            self._emit(
+                                recorder,
+                                "runner.worker.failed",
+                                worker=rank,
+                                error=error,
+                            )
+                            continue
+                        summaries.append(summary)
+                        if summary.get("interrupted"):
+                            interrupted = True
+                        self._emit(
+                            recorder,
+                            "runner.worker.done",
+                            worker=summary.get("worker", rank),
+                            jobs=summary.get("n_jobs", 0),
+                            interrupted=bool(summary.get("interrupted")),
+                        )
+                except KeyboardInterrupt:
+                    # SIGINT fan-out: forward to every live worker so
+                    # each checkpoints its shard, then drain the pool.
+                    interrupted = True
+                    self._signal_workers(pool)
+            finally:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+            # Deterministic merge: whole per-job record groups, in plan
+            # order, into the canonical ledger (or straight out of the
+            # shards when no ledger was armed).
+            key_order = [job.key for job in jobs]
+            for rank in range(n_workers):
+                path = shard_path(base, rank)
+                if not path.exists():
+                    continue
+                shard = read_shard(path, plan_key)
+                if shard is not None:
+                    shards.append(shard)
+            if self.ledger is not None:
+                stats = merge_shards(self.ledger, shards, key_order)
+                entries: Dict[int, dict] = {}
+                for summary in summaries:
+                    rank = int(summary.get("worker", -1))
+                    entries[rank] = {
+                        "worker": rank,
+                        "jobs": summary.get("n_jobs", 0),
+                        "ok": summary.get("ok", 0),
+                        "failed": summary.get("failed", 0),
+                        "interrupted": bool(summary.get("interrupted")),
+                        "duration_s": summary.get("duration_s", 0.0),
+                    }
+                for rank, error in worker_errors:
+                    entries.setdefault(rank, {"worker": rank})[
+                        "error"
+                    ] = error
+                self.ledger.append_merge_record(
+                    {
+                        "workers": n_workers,
+                        "merged_jobs": stats.merged_jobs,
+                        "merged_records": stats.merged_records,
+                        "torn_lines": stats.torn_lines,
+                        "by_worker": [
+                            entries[rank] for rank in sorted(entries)
+                        ],
+                    }
+                )
+                source = self.ledger.completed
+            else:
+                source = {}
+                for key in key_order:
+                    for shard in shards:
+                        terminal = shard.terminal(key)
+                        if terminal is not None:
+                            source[key] = terminal
+                            break
+
+            missing: List[PortableJob] = []
+            for job in pending:
+                record = source.get(job.key)
+                if record is None:
+                    missing.append(job)
+                    continue
+                row = dict(record["row"])
+                rows[job.index] = row
+                status = (
+                    "ok" if row.get("status") == "ok" else "failed"
+                )
+                obs.metrics.counter(
+                    "runner.jobs", "campaign jobs by terminal status"
+                ).labels(status=status).inc()
+                if status == "failed":
+                    kind = (row.get("failure") or {}).get(
+                        "kind", "unknown"
+                    )
+                    obs.metrics.counter(
+                        "runner.quarantined",
+                        "jobs quarantined, by failure kind",
+                    ).labels(kind=kind).inc()
+            # Shards are merged (or interrupted work will be re-run from
+            # the canonical ledger's in-flight state): drop them.
+            for shard in shards:
+                try:
+                    shard.path.unlink()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+        finally:
+            if tempdir is not None:
+                shutil.rmtree(tempdir, ignore_errors=True)
+            if self.ledger is not None:
+                self.ledger.close()
+
+        report.rows = [rows[i] for i in sorted(rows)]
+        report.duration_s = round(time.perf_counter() - started, 6)
+        if interrupted:
+            raise CampaignInterrupted(
+                report.ledger_path, len(rows), len(jobs)
+            )
+        if missing:
+            details = (
+                "; ".join(
+                    f"worker {rank}: {error}"
+                    for rank, error in sorted(worker_errors)
+                )
+                or "no terminal rows in any shard"
+            )
+            where = (
+                f"ledger checkpointed at {report.ledger_path} — "
+                f"rerun with --resume"
+                if report.ledger_path
+                else "no ledger was armed; rerun the campaign"
+            )
+            raise ReproError(
+                f"{len(missing)} job(s) lost to dead workers "
+                f"({details}); {where}"
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _signal_workers(pool) -> None:
+        """Forward SIGINT to every live worker process of ``pool``."""
+        import signal
+
+        processes = getattr(pool, "_processes", None) or {}
+        for pid in list(processes):
+            try:
+                os.kill(pid, signal.SIGINT)
+            except (OSError, ProcessLookupError):  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
     def _run_one(self, job: Job, recorder) -> dict:
         deadline = (
             job.deadline_s
@@ -237,7 +575,8 @@ class SuiteRunner:
             attempts += 1
             if self.ledger is not None:
                 self.ledger.job_started(job.key, job.index, attempts)
-            recorder.event(
+            self._emit(
+                recorder,
                 "runner.job.start",
                 key=job.key,
                 label=job.label,
@@ -266,7 +605,8 @@ class SuiteRunner:
                     self.ledger.job_retried(
                         job.key, attempts, str(exc), delay
                     )
-                recorder.event(
+                self._emit(
+                    recorder,
                     "runner.job.retry",
                     key=job.key,
                     label=job.label,
@@ -279,6 +619,15 @@ class SuiteRunner:
                 ).labels(kind=kind).inc()
                 if delay > 0:
                     self._sleep(delay)
+            except MemoryError as exc:
+                # Memory-pressure abort: retrying at the same scale
+                # would just OOM again, so quarantine immediately with
+                # its own taxonomy kind.
+                failure = JobFailure(
+                    kind="oom",
+                    error=f"MemoryError: {exc}",
+                )
+                break
             except Exception as exc:  # noqa: BLE001 - poisoned input
                 failure = JobFailure(
                     kind="poisoned",
@@ -300,7 +649,8 @@ class SuiteRunner:
             )
             if self.ledger is not None:
                 self.ledger.job_done(job.key, row)
-            recorder.event(
+            self._emit(
+                recorder,
                 "runner.job.done",
                 key=job.key,
                 label=job.label,
@@ -316,7 +666,8 @@ class SuiteRunner:
             )
             if self.ledger is not None:
                 self.ledger.job_quarantined(job.key, row)
-            recorder.event(
+            self._emit(
+                recorder,
                 "runner.job.quarantined",
                 key=job.key,
                 label=job.label,
@@ -334,93 +685,64 @@ class SuiteRunner:
 
 
 # ---------------------------------------------------------------------------
-def _evaluate_job_fn(spec) -> Callable[[], dict]:
-    """The job body of one plan entry: build trace, evaluate, report gains."""
-
-    def fn() -> dict:
-        from repro.core.modes import OptimizationMode
-        from repro.experiments.harness import (
-            EvaluationContext,
-            build_trace,
-            default_policy_for,
-            evaluate_schemes,
-            gains_over,
-        )
-        from repro.transmuter.machine import TransmuterModel
-
-        mode = (
-            OptimizationMode.ENERGY_EFFICIENT
-            if spec.mode == "ee"
-            else OptimizationMode.POWER_PERFORMANCE
-        )
-        trace = build_trace(spec.kernel, spec.matrix, scale=spec.scale)
-        context = EvaluationContext(
-            trace=trace,
-            machine=TransmuterModel(bandwidth_gbps=spec.bandwidth_gbps),
-            mode=mode,
-            l1_type=spec.l1_type,
-            policy=default_policy_for(
-                "spmspm" if spec.kernel == "spmspm" else "spmspv"
-            ),
-        )
-        results = evaluate_schemes(context, spec.schemes)
-        gains = gains_over(results)
-        return {
-            "n_epochs": int(trace.n_epochs),
-            "schemes": {
-                name: {
-                    metric: float(value)
-                    for metric, value in values.items()
-                }
-                for name, values in gains.items()
-            },
-        }
-
-    return fn
-
-
 def run_plan(
     plan: CampaignPlan,
     config: Optional[SupervisorConfig] = None,
     ledger_path: Optional[str] = None,
     resume: bool = False,
     max_jobs: Optional[int] = None,
+    workers: int = 1,
 ) -> SuiteReport:
     """Execute a campaign plan under full supervision.
 
     ``ledger_path`` arms checkpointing (required for ``resume``);
     ``max_jobs`` stops after that many *newly executed* jobs — a
     deterministic interruption point used by tests, CI, and sharded
-    campaigns — leaving the ledger resumable.
+    campaigns — leaving the ledger resumable. ``workers`` fans pending
+    jobs across that many processes; results are byte-identical to a
+    serial run regardless of the count (resuming with a *different*
+    worker count is fine for the same reason).
     """
-    ledger = (
-        RunLedger(
+    ledger: Optional[RunLedger] = None
+    if ledger_path is not None:
+        ledger = RunLedger(
             ledger_path,
             plan_key=plan.key(),
             plan_name=plan.name,
             resume=resume,
         )
-        if ledger_path is not None
-        else None
+        key_order = [spec.key() for spec in plan.jobs]
+        if resume:
+            # A killed parallel run may have left worker shards behind:
+            # fold every terminal row they fsynced into the canonical
+            # ledger so only genuinely unfinished jobs re-run.
+            stats = recover_shards(ledger, key_order)
+            if (
+                stats.merged_records
+                or stats.torn_lines
+                or stats.skipped_shards
+            ):
+                obs.get_recorder().event(
+                    "runner.shards.recovered",
+                    jobs=stats.merged_jobs,
+                    records=stats.merged_records,
+                    torn=stats.torn_lines,
+                    foreign=stats.skipped_shards,
+                )
+        else:
+            # Fresh campaign: stale shards beside the new ledger would
+            # pollute a later resume with rows from an older run.
+            for stray in list_shards(ledger.path):
+                try:
+                    stray.unlink()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+    runner = SuiteRunner(
+        config=config, ledger=ledger, faults=plan.faults, workers=workers
     )
-    runner = SuiteRunner(config=config, ledger=ledger, faults=plan.faults)
-    jobs = [
-        Job(
-            key=spec.key(),
-            label=spec.label(),
-            fn=_evaluate_job_fn(spec),
-            index=index,
-            deadline_s=spec.deadline_s,
-            meta={
-                "kernel": spec.kernel,
-                "matrix": spec.matrix,
-                "mode": spec.mode,
-            },
-        )
-        for index, spec in enumerate(plan.jobs)
-    ]
+    jobs = plan_portable_jobs(plan)
     if max_jobs is not None:
-        trimmed: List[Job] = []
+        trimmed: List[PortableJob] = []
         fresh = 0
         for job in jobs:
             cached = ledger.completed.get(job.key) if ledger else None
@@ -430,7 +752,7 @@ def run_plan(
                 fresh += 1
             trimmed.append(job)
         jobs = trimmed
-    report = runner.run(jobs, name=plan.name)
+    report = runner.run_portable(jobs, name=plan.name, plan_key=plan.key())
     report.partial = len(jobs) < len(plan.jobs)
     return report
 

@@ -1,13 +1,14 @@
-"""The durable run ledger: what makes a campaign resumable.
+"""The durable run ledger: what makes a campaign resumable — and, since
+the runner went parallel, the shared journal N workers checkpoint into.
 
 A :class:`RunLedger` is an append-only JSONL file recording the life of
 every job in a campaign: ``start`` when an attempt begins, ``retry``
 when a retryable failure schedules another attempt, and a terminal
 ``done`` (with the full result row) or ``quarantined`` (with the
 structured failure). Every append is flushed and fsynced, so the ledger
-survives a killed process up to the last completed write; a torn final
-line (the one write a crash can interrupt) is detected and ignored on
-load.
+survives a killed process up to the last completed write; torn lines
+(the one write a crash can interrupt — or, adversarially, any
+mid-file corruption) are detected, skipped, and counted on load.
 
 Resume semantics: jobs with a *terminal* row are finished — ``done``
 rows are replayed into the aggregate report byte-for-byte, and
@@ -17,21 +18,102 @@ exhausted its retry budget would just hang/fail again). Jobs with only
 re-run from scratch. Identity is the content-addressed job key
 (:func:`repro.runner.plan.job_key`), so editing unrelated jobs in a
 plan does not invalidate completed work.
+
+Parallel campaigns shard the journal: worker ``k`` appends to its own
+``<ledger>.w<k>`` file (same record format, header carries the worker
+rank), and the parent merges the shards back into the canonical ledger
+with :func:`merge_shards` — per job, in plan order, so the merged
+ledger is byte-identical to a serial run's (modulo wall-clock fields)
+regardless of worker count or completion order. Merging is
+first-terminal-wins and skips jobs the canonical ledger already
+completed, which makes it idempotent and order-insensitive; stale
+shards left behind by a dead worker are unioned the same way on the
+next resume (:func:`recover_shards`) and then deleted.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigError
 from repro.obs.sinks import encode_record
 
-__all__ = ["LEDGER_VERSION", "RunLedger"]
+__all__ = [
+    "LEDGER_VERSION",
+    "TERMINAL_TYPES",
+    "RunLedger",
+    "ShardData",
+    "MergeStats",
+    "shard_path",
+    "list_shards",
+    "read_ledger_records",
+    "read_shard",
+    "merge_shards",
+    "recover_shards",
+]
 
 LEDGER_VERSION = 1
+
+#: Record types that finish a job; everything else is in-flight state.
+TERMINAL_TYPES = ("done", "quarantined")
+
+_SHARD_SUFFIX = re.compile(r"\.w(\d+)$")
+
+
+def shard_path(base: Union[str, Path], worker: int) -> Path:
+    """The per-worker shard file of a canonical ledger path."""
+    return Path(f"{base}.w{worker}")
+
+
+def list_shards(base: Union[str, Path]) -> List[Path]:
+    """Existing ``<base>.w<k>`` shard files, ordered by worker rank."""
+    base = Path(base)
+    found: List[Tuple[int, Path]] = []
+    if not base.parent.is_dir():
+        return []
+    prefix = base.name + ".w"
+    for entry in base.parent.iterdir():
+        if not entry.name.startswith(base.name):
+            continue
+        match = _SHARD_SUFFIX.search(entry.name)
+        if match and entry.name == prefix + match.group(1):
+            found.append((int(match.group(1)), entry))
+    return [path for _, path in sorted(found)]
+
+
+def read_ledger_records(
+    path: Union[str, Path]
+) -> Tuple[List[dict], int]:
+    """Load every intact record of a ledger/shard file.
+
+    Returns ``(records, n_skipped)``. Undecodable lines — the torn
+    final write of a killed process, or adversarial mid-file damage —
+    are skipped and counted instead of aborting the load: any record
+    that *did* survive intact is still trusted, and a job whose
+    terminal row was lost is simply re-run (safe by construction).
+    """
+    records: List[dict] = []
+    skipped = 0
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict) or "type" not in record:
+                skipped += 1
+                continue
+            records.append(record)
+    return records, skipped
 
 
 class RunLedger:
@@ -43,14 +125,22 @@ class RunLedger:
         plan_key: str,
         plan_name: str = "campaign",
         resume: bool = False,
+        worker: Optional[int] = None,
+        overwrite: bool = False,
     ) -> None:
         self.path = Path(path)
         self.plan_key = plan_key
         self.plan_name = plan_name
+        #: Worker rank when this ledger is a parallel shard.
+        self.worker = worker
         #: Terminal rows by job key (``done`` and ``quarantined`` records).
         self.completed: Dict[str, dict] = {}
         #: Keys that have a ``start`` but no terminal row (were in flight).
         self.in_flight: List[str] = []
+        #: Undecodable lines skipped on load (torn/damaged records).
+        self.n_skipped: int = 0
+        if overwrite and self.path.exists():
+            self.path.unlink()
         exists = self.path.exists()
         if exists and not resume:
             raise ConfigError(
@@ -65,37 +155,31 @@ class RunLedger:
             self._load()
         self._handle = self.path.open("a", encoding="utf-8")
         if not exists:
-            self._append(
-                {
-                    "type": "header",
-                    "version": LEDGER_VERSION,
-                    "plan_name": plan_name,
-                    "plan_key": plan_key,
-                }
-            )
+            header = {
+                "type": "header",
+                "version": LEDGER_VERSION,
+                "plan_name": plan_name,
+                "plan_key": plan_key,
+            }
+            if worker is not None:
+                header["worker"] = worker
+            self._append(header)
 
     # ------------------------------------------------------------------
     def _load(self) -> None:
-        started: Dict[str, bool] = {}
+        records, self.n_skipped = read_ledger_records(self.path)
         header: Optional[dict] = None
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    # A torn final write from a killed process; everything
-                    # before it is intact, so stop here and move on.
-                    break
-                kind = record.get("type")
-                if kind == "header":
-                    header = record
-                elif kind == "start":
-                    started[record["key"]] = True
-                elif kind in ("done", "quarantined"):
-                    self.completed[record["key"]] = record
+        started: Dict[str, bool] = {}
+        for record in records:
+            kind = record.get("type")
+            if kind == "header" and header is None:
+                header = record
+            elif kind == "start":
+                started[record["key"]] = True
+            elif kind in TERMINAL_TYPES:
+                # First terminal record wins: a duplicated row (e.g. a
+                # replayed merge) never flips an already-settled job.
+                self.completed.setdefault(record["key"], record)
         if header is None:
             raise ConfigError(
                 f"{self.path} is not a run ledger (missing header)"
@@ -149,6 +233,11 @@ class RunLedger:
         self._append(record)
         self.completed[key] = record
 
+    def append_merge_record(self, record: dict) -> None:
+        """Volatile merge provenance (worker stats); readers that only
+        care about job state ignore it."""
+        self._append({"type": "merge", **record})
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         if not self._handle.closed:
@@ -162,3 +251,165 @@ class RunLedger:
     def __exit__(self, *exc_info) -> bool:
         self.close()
         return False
+
+
+# ---------------------------------------------------------------------------
+@dataclass
+class ShardData:
+    """One worker shard, parsed and grouped for merging."""
+
+    path: Path
+    worker: Optional[int]
+    #: Per-job record groups, in the shard's own append order.
+    by_key: "Dict[str, List[dict]]" = field(default_factory=dict)
+    n_skipped: int = 0
+
+    def terminal(self, key: str) -> Optional[dict]:
+        for record in self.by_key.get(key, ()):
+            if record.get("type") in TERMINAL_TYPES:
+                return record
+        return None
+
+
+@dataclass
+class MergeStats:
+    """What one :func:`merge_shards` pass did."""
+
+    merged_jobs: int = 0
+    merged_records: int = 0
+    skipped_completed: int = 0
+    skipped_shards: int = 0
+    torn_lines: int = 0
+    by_worker: List[dict] = field(default_factory=list)
+
+
+def read_shard(
+    path: Union[str, Path], plan_key: str
+) -> Optional[ShardData]:
+    """Parse one shard file; ``None`` for a foreign-plan shard.
+
+    Lenient where the canonical loader is strict: a shard missing its
+    header (truncated at the front by a crash or an adversarial test)
+    still yields its surviving records — but a shard whose header names
+    a *different* plan is rejected wholesale rather than polluting the
+    merge.
+    """
+    try:
+        records, skipped = read_ledger_records(path)
+    except OSError:
+        return None
+    shard = ShardData(path=Path(path), worker=None, n_skipped=skipped)
+    for record in records:
+        kind = record.get("type")
+        if kind == "header":
+            if record.get("plan_key") not in (None, plan_key):
+                return None
+            if shard.worker is None:
+                shard.worker = record.get("worker")
+            continue
+        if kind == "merge":
+            continue
+        key = record.get("key")
+        if not isinstance(key, str):
+            shard.n_skipped += 1
+            continue
+        shard.by_key.setdefault(key, []).append(record)
+    return shard
+
+
+def merge_shards(
+    ledger: RunLedger,
+    shards: Sequence[ShardData],
+    key_order: Sequence[str],
+) -> MergeStats:
+    """Union worker shards into the canonical ledger, deterministically.
+
+    Jobs are appended as whole per-key record groups in ``key_order``
+    (the plan order), then any foreign keys sorted lexicographically —
+    so the merged file's job structure is byte-identical to a serial
+    run's regardless of which worker ran what or when it finished.
+    When several shards carry the same key (a stale shard from a dead
+    worker plus its re-run), the first shard with a terminal record
+    wins; jobs already terminal in the canonical ledger are skipped,
+    which is what makes merging idempotent. Groups without a terminal
+    record (jobs in flight when their worker stopped) are *not*
+    appended — they are only marked in flight, and re-run fresh.
+    """
+    stats = MergeStats()
+    known = set(key_order)
+    extra = sorted(
+        {
+            key
+            for shard in shards
+            for key in shard.by_key
+            if key not in known
+        }
+    )
+    for key in list(key_order) + extra:
+        if key in ledger.completed:
+            stats.skipped_completed += 1
+            continue
+        chosen: Optional[ShardData] = None
+        for shard in shards:
+            if key not in shard.by_key:
+                continue
+            if chosen is None or (
+                chosen.terminal(key) is None
+                and shard.terminal(key) is not None
+            ):
+                chosen = shard
+        if chosen is None:
+            continue
+        group = chosen.by_key[key]
+        terminal = chosen.terminal(key)
+        if terminal is None:
+            # Start/retry records of a job interrupted mid-flight:
+            # not merged — the job simply re-runs, writing its records
+            # fresh, which keeps the canonical ledger free of orphan
+            # ``start`` groups.
+            if group and key not in ledger.in_flight:
+                ledger.in_flight.append(key)
+            continue
+        for record in group:
+            ledger._append(record)
+            stats.merged_records += 1
+            # A duplicated terminal row inside one shard: first wins.
+            if record is terminal:
+                break
+        ledger.completed[key] = terminal
+        stats.merged_jobs += 1
+    for shard in shards:
+        stats.torn_lines += shard.n_skipped
+    return stats
+
+
+def recover_shards(
+    ledger: RunLedger, key_order: Sequence[str]
+) -> MergeStats:
+    """Union stale shard files from a previous (killed) parallel run.
+
+    Called on resume before any new work: every terminal row a dead
+    worker managed to fsync is folded into the canonical ledger, the
+    shard files are deleted, and only genuinely unfinished jobs re-run.
+    Foreign-plan shards are left untouched but counted.
+    """
+    stats = MergeStats()
+    shards: List[ShardData] = []
+    stale: List[Path] = []
+    for path in list_shards(ledger.path):
+        shard = read_shard(path, ledger.plan_key)
+        if shard is None:
+            stats.skipped_shards += 1
+            continue
+        shards.append(shard)
+        stale.append(path)
+    if shards:
+        merged = merge_shards(ledger, shards, key_order)
+        merged.skipped_shards = stats.skipped_shards
+        stats = merged
+    for path in stale:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+    return stats

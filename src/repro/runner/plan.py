@@ -178,7 +178,8 @@ class CampaignPlan:
     """A named, ordered list of jobs plus an optional fault schedule.
 
     ``faults`` carries host-level fault kinds (``job_hang`` /
-    ``job_crash``) that the runner applies per job attempt; hardware
+    ``job_crash`` / ``job_oom``) that the runner applies per job
+    attempt; hardware
     kinds in the same schedule are ignored at this layer.
     """
 

@@ -14,10 +14,16 @@ over:
   reaches a result, but determinism everywhere keeps ledgers
   comparable).
 * :class:`HostFaultInjector` interprets the host-level fault kinds
-  (``job_hang``, ``job_crash``) of a schedule per job *attempt*, the
-  same seeded per-spec stream discipline as the epoch-level
-  :class:`~repro.faults.injector.FaultInjector` — which ignores host
-  kinds, exactly as this injector ignores hardware kinds.
+  (``job_hang``, ``job_crash``, ``job_oom``) of a schedule per job
+  *attempt*, the same seeded per-spec stream discipline as the
+  epoch-level :class:`~repro.faults.injector.FaultInjector` — which
+  ignores host kinds, exactly as this injector ignores hardware kinds.
+
+Because every fire decision is stateless per ``(seed, spec, job,
+attempt)``, the injector behaves identically whether a campaign runs
+in one process or is sharded across N workers — each worker derives
+exactly the faults its jobs would have seen in a serial run, which is
+what keeps parallel and resumed campaigns byte-identical.
 """
 
 from __future__ import annotations
@@ -126,7 +132,7 @@ def backoff_delay(
 
 
 class HostFaultInjector:
-    """Seeded per-attempt interpreter of ``job_hang``/``job_crash`` specs.
+    """Seeded per-attempt interpreter of the ``job_*`` host-fault specs.
 
     The spec's ``[start_epoch, end_epoch)`` window selects job
     *indices*; ``rate`` is the per-attempt fire probability (1.0 fires
@@ -198,6 +204,13 @@ class HostFaultInjector:
             for kind, seconds in fired:
                 if kind == "job_hang":
                     time.sleep(seconds)
+                elif kind == "job_oom":
+                    # Memory-pressure abort: not retryable — the same
+                    # job at the same scale would just OOM again, so
+                    # the executor quarantines it immediately.
+                    raise MemoryError(
+                        f"injected job_oom (job {job_index})"
+                    )
                 else:  # job_crash
                     raise RetryableError(
                         f"injected job_crash (job {job_index})"

@@ -1,0 +1,270 @@
+"""Worker-side execution of campaign shards.
+
+Parallel campaigns cannot ship closures to child processes, so the
+unit that crosses the process boundary is a :class:`PortableJob`: a
+JSON-native description (kind + payload) that each worker rebuilds
+into a live :class:`~repro.runner.executor.Job` with
+:func:`build_job`. Three kinds exist:
+
+* ``evaluate`` — the scientific workload: a
+  :class:`~repro.runner.plan.JobSpec` dict, evaluated through the
+  experiment harness exactly as a serial ``repro suite-run`` would;
+* ``sleep`` — a deterministic timed job (tests and the workers-speedup
+  benchmark use it to measure scheduling without compute noise);
+* ``fail`` — a job that raises a chosen error (adversarial tests of
+  the quarantine/retry taxonomy across process boundaries).
+
+:func:`run_worker_shard` is the ``ProcessPoolExecutor`` entry point:
+given a picklable payload (worker rank, shard ledger path, supervisor
+config, fault schedule, job list) it runs its jobs under the standard
+:class:`~repro.runner.executor.SuiteRunner` supervision — per-job
+deadline watchdog, bounded retries, host-fault injection, quarantine —
+appending every record to its private ``<ledger>.w<k>`` shard. The
+parent never trusts the returned summary for results; the fsynced
+shard is the source of truth it merges
+(:func:`repro.runner.ledger.merge_shards`). Workers run with tracing
+forced off (a forked child must not interleave writes into the
+parent's trace sink); the parent emits the ``runner.worker.*``
+lifecycle events instead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigError, RetryableError
+
+__all__ = ["PortableJob", "build_job", "plan_portable_jobs", "run_worker_shard"]
+
+#: Portable job kinds the worker can rebuild.
+PORTABLE_KINDS = ("evaluate", "sleep", "fail")
+
+
+@dataclass(frozen=True)
+class PortableJob:
+    """A job description that survives pickling across processes."""
+
+    kind: str
+    key: str
+    label: str
+    index: int
+    payload: Dict[str, object] = field(default_factory=dict)
+    deadline_s: Optional[float] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in PORTABLE_KINDS:
+            raise ConfigError(
+                f"unknown portable job kind {self.kind!r} "
+                f"(expected one of {', '.join(PORTABLE_KINDS)})"
+            )
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "key": self.key,
+            "label": self.label,
+            "index": self.index,
+            "payload": dict(self.payload),
+            "deadline_s": self.deadline_s,
+            "meta": dict(self.meta),
+        }
+
+    @staticmethod
+    def from_dict(raw: dict) -> "PortableJob":
+        return PortableJob(
+            kind=raw["kind"],
+            key=raw["key"],
+            label=raw["label"],
+            index=raw["index"],
+            payload=dict(raw.get("payload", {})),
+            deadline_s=raw.get("deadline_s"),
+            meta=dict(raw.get("meta", {})),
+        )
+
+
+# ---------------------------------------------------------------------------
+def _evaluate_fn(payload: dict) -> Callable[[], dict]:
+    """The job body of one plan entry: build trace, evaluate, report
+    gains. Identical to what the serial runner executes — the payload
+    is a :class:`JobSpec` dict, revalidated on the worker side."""
+
+    def fn() -> dict:
+        from repro.core.modes import OptimizationMode
+        from repro.experiments.harness import (
+            EvaluationContext,
+            build_trace,
+            default_policy_for,
+            evaluate_schemes,
+            gains_over,
+        )
+        from repro.runner.plan import JobSpec
+        from repro.transmuter.machine import TransmuterModel
+
+        spec = JobSpec.from_dict(payload)
+        mode = (
+            OptimizationMode.ENERGY_EFFICIENT
+            if spec.mode == "ee"
+            else OptimizationMode.POWER_PERFORMANCE
+        )
+        trace = build_trace(spec.kernel, spec.matrix, scale=spec.scale)
+        context = EvaluationContext(
+            trace=trace,
+            machine=TransmuterModel(bandwidth_gbps=spec.bandwidth_gbps),
+            mode=mode,
+            l1_type=spec.l1_type,
+            policy=default_policy_for(
+                "spmspm" if spec.kernel == "spmspm" else "spmspv"
+            ),
+        )
+        results = evaluate_schemes(context, spec.schemes)
+        gains = gains_over(results)
+        return {
+            "n_epochs": int(trace.n_epochs),
+            "schemes": {
+                name: {
+                    metric: float(value)
+                    for metric, value in values.items()
+                }
+                for name, values in gains.items()
+            },
+        }
+
+    return fn
+
+
+def _sleep_fn(payload: dict) -> Callable[[], dict]:
+    seconds = float(payload.get("seconds", 0.0))
+    value = payload.get("value", 0)
+
+    def fn() -> dict:
+        if seconds > 0:
+            time.sleep(seconds)
+        return {"value": value}
+
+    return fn
+
+
+def _fail_fn(payload: dict) -> Callable[[], dict]:
+    message = str(payload.get("error", "injected failure"))
+    retryable = bool(payload.get("retryable", False))
+    #: Attempts that fail before the job starts succeeding (0 = always).
+    fail_attempts = payload.get("fail_attempts")
+    state = {"calls": 0}
+
+    def fn() -> dict:
+        state["calls"] += 1
+        if fail_attempts is None or state["calls"] <= int(fail_attempts):
+            if retryable:
+                raise RetryableError(message)
+            raise ValueError(message)
+        return {"value": payload.get("value", 0)}
+
+    return fn
+
+
+_BUILDERS: Dict[str, Callable[[dict], Callable[[], dict]]] = {
+    "evaluate": _evaluate_fn,
+    "sleep": _sleep_fn,
+    "fail": _fail_fn,
+}
+
+
+def build_job(portable: PortableJob):
+    """Rebuild a live :class:`Job` from its portable description."""
+    from repro.runner.executor import Job
+
+    return Job(
+        key=portable.key,
+        label=portable.label,
+        fn=_BUILDERS[portable.kind](dict(portable.payload)),
+        index=portable.index,
+        deadline_s=portable.deadline_s,
+        meta=dict(portable.meta),
+    )
+
+
+def plan_portable_jobs(plan) -> List[PortableJob]:
+    """Every job of a :class:`CampaignPlan` as portable descriptions."""
+    return [
+        PortableJob(
+            kind="evaluate",
+            key=spec.key(),
+            label=spec.label(),
+            index=index,
+            payload=spec.as_dict(),
+            deadline_s=spec.deadline_s,
+            meta={
+                "kernel": spec.kernel,
+                "matrix": spec.matrix,
+                "mode": spec.mode,
+            },
+        )
+        for index, spec in enumerate(plan.jobs)
+    ]
+
+
+# ---------------------------------------------------------------------------
+def run_worker_shard(payload: dict) -> dict:
+    """``ProcessPoolExecutor`` entry point: run one worker's shard.
+
+    ``payload`` is JSON-native: ``worker`` (rank), ``shard_path``,
+    ``plan_key``/``plan_name``, ``config`` (SupervisorConfig fields),
+    ``faults`` (schedule dict or None), and ``jobs`` (portable dicts).
+    Every record lands in the fsynced shard ledger; the returned
+    summary is bookkeeping only (rank, wall time, interrupt flag) —
+    the parent reads results from the shard so that a worker killed
+    mid-return loses nothing that was durably written.
+    """
+    from repro import obs
+    from repro.faults.spec import FaultSchedule
+    from repro.runner.executor import CampaignInterrupted, SuiteRunner
+    from repro.runner.ledger import RunLedger
+    from repro.runner.supervisor import SupervisorConfig
+
+    # A forked child inherits the parent's installed recorder and its
+    # open sink handle; concurrent appends from N processes would
+    # interleave mid-record. Workers therefore run untraced.
+    obs.install(None)
+
+    worker = int(payload["worker"])
+    config = SupervisorConfig(**payload.get("config", {}))
+    faults = (
+        FaultSchedule.from_dict(payload["faults"])
+        if payload.get("faults") is not None
+        else None
+    )
+    jobs = [
+        build_job(PortableJob.from_dict(raw)) for raw in payload["jobs"]
+    ]
+    ledger = RunLedger(
+        payload["shard_path"],
+        plan_key=payload["plan_key"],
+        plan_name=payload.get("plan_name", "campaign"),
+        worker=worker,
+        overwrite=True,
+    )
+    runner = SuiteRunner(
+        config=config, ledger=ledger, faults=faults, worker=worker
+    )
+    started = time.perf_counter()
+    summary = {
+        "worker": worker,
+        "n_jobs": len(jobs),
+        "interrupted": False,
+    }
+    try:
+        report = runner.run(jobs, name=payload.get("plan_name", "campaign"))
+        counts = report.counts()
+        summary["ok"] = counts.get("ok", 0)
+        summary["failed"] = counts.get("failed", 0)
+    except CampaignInterrupted as exc:
+        # SIGINT reached this worker (terminal fan-out or parent kill):
+        # the shard is already closed and crash-consistent; tell the
+        # parent so it can checkpoint the campaign as interrupted.
+        summary["interrupted"] = True
+        summary["completed"] = exc.completed
+    summary["duration_s"] = round(time.perf_counter() - started, 6)
+    return summary

@@ -396,12 +396,13 @@ class TestApplyTransition:
 
 
 class TestHostFaultKinds:
-    """The host-level ``job_hang``/``job_crash`` kinds: spec validation
-    and the layer split (epoch injector ignores them; the suite runner
-    consumes them — see also tests/test_runner.py)."""
+    """The host-level ``job_hang``/``job_crash``/``job_oom`` kinds:
+    spec validation and the layer split (epoch injector ignores them;
+    the suite runner consumes them — see also tests/test_runner.py and
+    tests/test_runner_parallel.py)."""
 
     def test_kinds_registered(self):
-        assert HOST_FAULTS == ("job_hang", "job_crash")
+        assert HOST_FAULTS == ("job_hang", "job_crash", "job_oom")
         for kind in HOST_FAULTS:
             assert kind in FAULT_KINDS
 
@@ -416,6 +417,11 @@ class TestHostFaultKinds:
     def test_job_crash_takes_no_params(self):
         with pytest.raises(FaultError, match="unknown param"):
             FaultSpec(kind="job_crash", params={"seconds": 1.0})
+
+    def test_job_oom_takes_no_params(self):
+        FaultSpec(kind="job_oom", rate=0.5)  # params-free kind
+        with pytest.raises(FaultError, match="unknown param"):
+            FaultSpec(kind="job_oom", params={"seconds": 1.0})
 
     def test_schedule_file_round_trip(self, tmp_path):
         schedule = FaultSchedule(

@@ -325,6 +325,29 @@ class TestHostFaultInjector:
         with pytest.raises(RetryableError, match="injected job_crash"):
             wrapped()
 
+    def test_oom_wrap_raises_memory_error(self):
+        """job_oom aborts the attempt with MemoryError — which the
+        executor quarantines fail-fast as kind 'oom' instead of
+        burning the retry budget."""
+        injector = HostFaultInjector(
+            self._schedule(FaultSpec(kind="job_oom", rate=1.0))
+        )
+        wrapped = injector.wrap(lambda: {"x": 1}, job_index=0)
+        with pytest.raises(MemoryError, match="injected job_oom"):
+            wrapped()
+
+    def test_oom_draws_are_stateless(self):
+        schedule = self._schedule(
+            FaultSpec(kind="job_oom", rate=0.5), seed=13
+        )
+        fresh = [
+            HostFaultInjector(schedule).actions(j) for j in range(32)
+        ]
+        sequential = HostFaultInjector(schedule)
+        assert [sequential.actions(j) for j in range(32)] == fresh
+        fired = [j for j, actions in enumerate(fresh) if actions]
+        assert 0 < len(fired) < 32
+
     def test_hang_wrap_sleeps_then_runs(self, monkeypatch):
         naps = []
         monkeypatch.setattr(
@@ -418,6 +441,17 @@ class TestSuiteRunner:
         assert row["attempts"] == 1  # non-retryable: no retry burned
         assert row["failure"]["kind"] == "poisoned"
         assert row["failure"]["error"] == "ValueError: bad matrix"
+
+    def test_memory_error_quarantined_as_oom(self):
+        def hog():
+            raise MemoryError("cannot allocate 80 GiB")
+
+        report = SuiteRunner(config=FAST).run([_job(hog)])
+        (row,) = report.rows
+        assert row["status"] == "failed"
+        assert row["attempts"] == 1  # OOM would recur: fail fast
+        assert row["failure"]["kind"] == "oom"
+        assert "cannot allocate" in row["failure"]["error"]
 
     def test_timeout_kind(self):
         config = SupervisorConfig(

@@ -1,0 +1,266 @@
+"""Property-based tests (hypothesis-free, seeded ``random.Random``
+streams) for the runner's durability primitives: content-addressed
+job-key stability under plan permutation, ledger round-trips through
+arbitrary JSON-native rows, byte-level truncation robustness, and the
+order-insensitivity + idempotence of the shard merge."""
+
+import json
+import random
+import string
+
+from repro.runner import JobSpec, RunLedger, job_key, shard_path
+from repro.runner.ledger import (
+    merge_shards,
+    read_ledger_records,
+    read_shard,
+)
+
+N_TRIALS = 25
+
+
+def _rng(trial):
+    return random.Random(0xC0FFEE + trial)
+
+
+def _random_scalar(rng):
+    return rng.choice(
+        [
+            rng.randint(-(10**6), 10**6),
+            round(rng.uniform(-1e3, 1e3), 6),
+            "".join(
+                rng.choice(string.ascii_letters) for _ in range(rng.randint(0, 12))
+            ),
+            rng.random() < 0.5,
+            None,
+        ]
+    )
+
+
+def _random_value(rng, depth=2):
+    if depth == 0 or rng.random() < 0.5:
+        return _random_scalar(rng)
+    if rng.random() < 0.5:
+        return [_random_value(rng, depth - 1) for _ in range(rng.randint(0, 4))]
+    return {
+        f"k{index}": _random_value(rng, depth - 1)
+        for index in range(rng.randint(0, 4))
+    }
+
+
+def _random_row(rng, index, key):
+    return {
+        "index": index,
+        "key": key,
+        "label": f"job/{index}",
+        "status": rng.choice(["ok", "failed"]),
+        "attempts": rng.randint(1, 4),
+        "result": _random_value(rng),
+    }
+
+
+def _random_spec(rng):
+    return JobSpec(
+        kernel=rng.choice(["spmspm", "spmspv"]),
+        matrix=rng.choice(
+            ["R01", "R05", "R09", "R16", "P1", "U1"]
+        ),
+        mode=rng.choice(["ee", "pp"]),
+        scale=rng.choice([0.1, 0.15, 0.3]),
+        bandwidth_gbps=rng.choice([0.5, 1.0, 2.0]),
+    )
+
+
+# ---------------------------------------------------------------------------
+class TestJobKeyStability:
+    def test_key_ignores_dict_insertion_order(self):
+        for trial in range(N_TRIALS):
+            rng = _rng(trial)
+            items = [
+                (f"field{index}", _random_value(rng))
+                for index in range(rng.randint(1, 6))
+            ]
+            shuffled = list(items)
+            rng.shuffle(shuffled)
+            assert job_key(dict(items)) == job_key(dict(shuffled))
+
+    def test_spec_key_independent_of_plan_position(self):
+        """Permuting a plan's job list never changes any job's key —
+        which is exactly what lets a resumed campaign trust rows
+        written by a run with a different ordering/worker count."""
+        for trial in range(N_TRIALS):
+            rng = _rng(trial)
+            specs = [_random_spec(rng) for _ in range(rng.randint(2, 8))]
+            before = [spec.key() for spec in specs]
+            order = list(range(len(specs)))
+            rng.shuffle(order)
+            after = {position: specs[position].key() for position in order}
+            assert all(
+                after[position] == before[position] for position in order
+            )
+
+    def test_key_tracks_any_field_change(self):
+        for trial in range(N_TRIALS):
+            rng = _rng(trial)
+            spec = _random_spec(rng)
+            changed = JobSpec(
+                kernel=spec.kernel,
+                matrix=spec.matrix,
+                mode=spec.mode,
+                scale=spec.scale + 0.01,
+                bandwidth_gbps=spec.bandwidth_gbps,
+            )
+            assert changed.key() != spec.key()
+
+
+# ---------------------------------------------------------------------------
+class TestLedgerRoundTrip:
+    def test_rows_survive_reopen_byte_exact(self, tmp_path):
+        """Whatever JSON-native row goes in comes back verbatim on
+        resume, with terminal statuses preserved."""
+        for trial in range(N_TRIALS):
+            rng = _rng(trial)
+            path = tmp_path / f"round{trial}.jsonl"
+            n_jobs = rng.randint(1, 10)
+            rows = {}
+            ledger = RunLedger(path, plan_key=f"plan{trial}")
+            for index in range(n_jobs):
+                key = f"job{index:02d}"
+                ledger.job_started(key, index, 1)
+                row = _random_row(rng, index, key)
+                if row["status"] == "ok":
+                    ledger.job_done(key, row)
+                else:
+                    ledger.job_quarantined(key, row)
+                rows[key] = row
+            ledger.close()
+
+            reopened = RunLedger(
+                path, plan_key=f"plan{trial}", resume=True
+            )
+            reopened.close()
+            assert set(reopened.completed) == set(rows)
+            for key, row in rows.items():
+                record = reopened.completed[key]
+                assert record["row"] == json.loads(json.dumps(row))
+                assert record["type"] == (
+                    "done" if row["status"] == "ok" else "quarantined"
+                )
+            assert reopened.in_flight == []
+            assert reopened.n_skipped == 0
+
+    def test_truncation_at_any_byte_never_raises(self, tmp_path):
+        """Chopping a ledger at an arbitrary byte offset (what a crash
+        mid-write leaves behind) loses at most the torn tail line —
+        loading never raises and every intact record survives."""
+        for trial in range(N_TRIALS):
+            rng = _rng(trial)
+            path = tmp_path / f"trunc{trial}.jsonl"
+            ledger = RunLedger(path, plan_key="t")
+            for index in range(rng.randint(1, 6)):
+                key = f"job{index:02d}"
+                ledger.job_started(key, index, 1)
+                ledger.job_done(key, _random_row(rng, index, key))
+            ledger.close()
+            blob = path.read_bytes()
+            cut = rng.randint(0, len(blob))
+            path.write_bytes(blob[:cut])
+
+            records, skipped = read_ledger_records(path)
+            assert skipped <= 1
+            # Every surviving record is a prefix of what was written.
+            full_records = [
+                json.loads(line)
+                for line in blob.decode("utf-8").splitlines()
+            ]
+            assert records == full_records[: len(records)]
+
+
+# ---------------------------------------------------------------------------
+class TestMergeProperties:
+    def _make_shards(self, rng, tmp_path, trial):
+        """A random campaign sharded over a random worker count, as
+        (base_path, key_order, {key: row}) plus the shard files."""
+        base = tmp_path / f"merge{trial}.jsonl"
+        n_jobs = rng.randint(1, 12)
+        keys = [f"job{index:02d}" for index in range(n_jobs)]
+        rows = {
+            key: _random_row(rng, index, key)
+            for index, key in enumerate(keys)
+        }
+        n_workers = rng.randint(1, 4)
+        for worker in range(n_workers):
+            shard = RunLedger(
+                shard_path(base, worker),
+                plan_key="m",
+                worker=worker,
+                overwrite=True,
+            )
+            for index, key in enumerate(keys):
+                if index % n_workers != worker:
+                    continue
+                shard.job_started(key, index, 1)
+                row = rows[key]
+                if row["status"] == "ok":
+                    shard.job_done(key, row)
+                else:
+                    shard.job_quarantined(key, row)
+            shard.close()
+        shards = [
+            read_shard(shard_path(base, worker), "m")
+            for worker in range(n_workers)
+        ]
+        return base, keys, rows, shards
+
+    def test_merge_is_shard_order_insensitive(self, tmp_path):
+        """merge(shards) produces byte-identical canonical ledgers no
+        matter the order the shards are presented in."""
+        for trial in range(N_TRIALS):
+            rng = _rng(trial)
+            base, keys, rows, shards = self._make_shards(
+                rng, tmp_path, trial
+            )
+            outputs = []
+            for attempt in range(2):
+                ordered = list(shards)
+                rng.shuffle(ordered)
+                target = tmp_path / f"out{trial}_{attempt}.jsonl"
+                ledger = RunLedger(target, plan_key="m")
+                merge_shards(ledger, ordered, keys)
+                ledger.close()
+                outputs.append(target.read_bytes())
+            assert outputs[0] == outputs[1]
+
+    def test_merge_is_idempotent(self, tmp_path):
+        for trial in range(N_TRIALS):
+            rng = _rng(trial)
+            base, keys, rows, shards = self._make_shards(
+                rng, tmp_path, trial
+            )
+            target = tmp_path / f"idem{trial}.jsonl"
+            ledger = RunLedger(target, plan_key="m")
+            first = merge_shards(ledger, shards, keys)
+            ledger.close()
+            once = target.read_bytes()
+            ledger = RunLedger(target, plan_key="m", resume=True)
+            second = merge_shards(ledger, shards, keys)
+            ledger.close()
+            assert first.merged_jobs == len(keys)
+            assert second.merged_jobs == 0
+            assert second.merged_records == 0
+            assert target.read_bytes() == once
+
+    def test_merge_recovers_every_terminal_row(self, tmp_path):
+        for trial in range(N_TRIALS):
+            rng = _rng(trial)
+            base, keys, rows, shards = self._make_shards(
+                rng, tmp_path, trial
+            )
+            target = tmp_path / f"all{trial}.jsonl"
+            ledger = RunLedger(target, plan_key="m")
+            merge_shards(ledger, shards, keys)
+            ledger.close()
+            assert set(ledger.completed) == set(keys)
+            for key in keys:
+                assert ledger.completed[key]["row"] == json.loads(
+                    json.dumps(rows[key])
+                )
