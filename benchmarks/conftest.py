@@ -58,3 +58,27 @@ def best_of(fn, repeats: int = 9) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def interleaved_best_of(fn_a, fn_b, repeats: int = 9):
+    """Best-of-N wall times of two functions, measured interleaved.
+
+    Comparing two ``best_of`` blocks taken back to back bakes machine
+    drift (turbo states, a noisy neighbour finishing) into the ratio:
+    whichever ran during the quiet window wins. Alternating A/B within
+    one loop exposes both functions to the same conditions, which is
+    what an overhead *ratio* assertion actually needs.
+    """
+    import time
+
+    best_a = best_b = float("inf")
+    for i in range(repeats):
+        for fn in ((fn_a, fn_b) if i % 2 == 0 else (fn_b, fn_a)):
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            if fn is fn_a:
+                best_a = min(best_a, elapsed)
+            else:
+                best_b = min(best_b, elapsed)
+    return best_a, best_b

@@ -44,6 +44,20 @@ Commands
     Summarize a past campaign's run ledger without re-running it (job
     counts, retries, quarantine taxonomy, per-worker timing), or diff
     two ledgers' terminal rows with ``--diff``.
+``top``
+    Watch a running campaign live through its ledger's heartbeat
+    records: progress bar, per-worker throughput, EWMA-based ETA, and
+    straggler/dead-worker flags (``--once`` for one snapshot,
+    ``--metrics-out`` for an OpenMetrics export).
+``profile-report``
+    Render a profile saved by ``run``/``suite-run`` ``--profile-out``:
+    per-component self-time table, span tree, or the collapsed-stack
+    flamegraph text (``--collapsed``).
+
+``run``, ``trace``, and ``experiment`` execute under the suite
+runner's watchdog, so ``--deadline SECONDS`` bounds any single
+invocation; ``run`` and ``suite-run`` accept ``--profile`` to print a
+wall-clock attribution report (see ``docs/profiling.md``).
 
 Every library failure (bad arguments, malformed spec files, unknown
 fault kinds, ...) exits 1 with a one-line ``error: ...`` on stderr —
@@ -150,6 +164,23 @@ def build_parser() -> argparse.ArgumentParser:
         "sanitize/read-back/safe-mode layer",
     )
     run.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock deadline in seconds (the evaluation runs "
+        "under the suite runner's watchdog)",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a wall-clock profile (kernel sim, forest "
+        "inference, cache/power models, ...) after the results",
+    )
+    run.add_argument(
+        "--profile-out",
+        help="also save the profile as JSON for `repro profile-report`",
+    )
+    run.add_argument(
         "--json",
         action="store_true",
         help="emit machine-readable JSON instead of the gain table",
@@ -210,6 +241,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the fault-injected controller without the hardened "
         "sanitize/read-back/safe-mode layer",
+    )
+    trace.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock deadline in seconds (the recorded run "
+        "executes under the suite runner's watchdog)",
     )
     trace.add_argument(
         "--trace-out", required=True, help="output JSONL trace path"
@@ -405,6 +443,21 @@ def build_parser() -> argparse.ArgumentParser:
         "are applied per job attempt (see docs/robustness.md)",
     )
     suite_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the campaign (workers export their span trees "
+        "to the parent) and print the attribution report",
+    )
+    suite_run.add_argument(
+        "--profile-out",
+        help="also save the profile as JSON for `repro profile-report`",
+    )
+    suite_run.add_argument(
+        "--metrics-out",
+        help="write the campaign's final metrics in OpenMetrics text "
+        "format to this path (atomically)",
+    )
+    suite_run.add_argument(
         "--json",
         action="store_true",
         help="emit the suite report as JSON instead of the table",
@@ -432,6 +485,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the summary/diff as JSON instead of text",
+    )
+
+    top = commands.add_parser(
+        "top",
+        help="watch a running campaign live through its ledger",
+    )
+    top.add_argument(
+        "ledger",
+        help="run ledger of the campaign to watch (shards are found "
+        "next to it)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit instead of refreshing",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="refresh interval in seconds",
+    )
+    top.add_argument(
+        "--straggler-threshold",
+        type=float,
+        default=30.0,
+        help="heartbeat age in seconds after which a runner is "
+        "flagged as a straggler (dead at 4x)",
+    )
+    top.add_argument(
+        "--metrics-out",
+        help="write each snapshot as OpenMetrics text to this path "
+        "(atomically; scrape-friendly)",
+    )
+    top.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one snapshot as JSON and exit (implies --once)",
+    )
+
+    profile_report = commands.add_parser(
+        "profile-report",
+        help="render a profile saved by run/suite-run --profile-out",
+    )
+    profile_report.add_argument(
+        "path", help="profile JSON written by --profile-out"
+    )
+    profile_report.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        help="limit the component table to the N hottest components",
+    )
+    profile_report.add_argument(
+        "--collapsed",
+        action="store_true",
+        help="emit collapsed-stack flamegraph text instead of the "
+        "report (pipe into any flamegraph tool)",
+    )
+    profile_report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw profile dict as JSON",
     )
 
     return parser
@@ -527,7 +643,39 @@ def _command_train(args) -> int:
     return 0
 
 
+def _emit_profile(profiler, args) -> None:
+    """Print a just-captured profile (and save it with --profile-out)."""
+    from repro.obs import profile as obs_profile
+
+    data = profiler.as_dict()
+    out = getattr(args, "profile_out", None)
+    if out:
+        obs_profile.save_profile(data, out)
+    # With --json stdout must stay machine-parseable, so the human
+    # report moves to stderr (the saved JSON is the machine channel).
+    stream = sys.stderr if getattr(args, "json", False) else sys.stdout
+    print(file=stream)
+    print(obs_profile.format_profile_report(data), end="", file=stream)
+    if out:
+        print(
+            f"profile written to {out} (repro profile-report {out})",
+            file=stream,
+        )
+
+
 def _command_run(args) -> int:
+    from repro.obs import profile as obs_profile
+
+    if not args.profile:
+        return _run_single(args)
+    with obs_profile.profiling() as profiler:
+        code = _run_single(args)
+    if code == 0:
+        _emit_profile(profiler, args)
+    return code
+
+
+def _run_single(args) -> int:
     from repro.core import load_model
     from repro.experiments.harness import (
         STANDARD_SCHEMES,
@@ -539,31 +687,61 @@ def _command_run(args) -> int:
         gains_over,
     )
     from repro.experiments.reporting import format_gain_table
+    from repro.runner import Job, SuiteRunner, SupervisorConfig, job_key
     from repro.transmuter import TransmuterModel
 
     faults, hardening = _fault_setup(args)
     trace = build_trace(args.kernel, args.matrix, scale=args.scale)
     if not args.json:
         print(f"trace: {trace.name} ({trace.n_epochs} epochs)")
-    model = load_model(args.model) if args.model else None
-    context = EvaluationContext(
-        trace=trace,
-        machine=TransmuterModel(bandwidth_gbps=args.bandwidth),
-        mode=_mode(args.mode),
-        model=model,
-        policy=default_policy_for(
-            "spmspm" if args.kernel == "spmspm" else "spmspv"
-        ),
-        faults=faults,
-        hardening=hardening,
-    )
     schemes = (
         UPPER_BOUND_SCHEMES + ("Best Avg", "Max Cfg")
         if args.upper_bounds
         else STANDARD_SCHEMES
     )
-    results = evaluate_schemes(context, schemes)
-    gains = gains_over(results)
+
+    def evaluate() -> dict:
+        model = load_model(args.model) if args.model else None
+        context = EvaluationContext(
+            trace=trace,
+            machine=TransmuterModel(bandwidth_gbps=args.bandwidth),
+            mode=_mode(args.mode),
+            model=model,
+            policy=default_policy_for(
+                "spmspm" if args.kernel == "spmspm" else "spmspv"
+            ),
+            faults=faults,
+            hardening=hardening,
+        )
+        results = evaluate_schemes(context, schemes)
+        return {"results": results, "gains": gains_over(results)}
+
+    # A single evaluation = a single-job campaign: the suite runner
+    # supplies the --deadline watchdog (inline, zero threads, when no
+    # deadline is set) and turns failures into structured rows.
+    job = Job(
+        key=job_key(
+            {
+                "type": "run",
+                "kernel": args.kernel,
+                "matrix": args.matrix,
+                "scale": args.scale,
+                "mode": args.mode,
+            }
+        ),
+        label=f"run/{args.kernel}/{args.matrix}",
+        fn=evaluate,
+        index=0,
+        deadline_s=args.deadline,
+    )
+    runner = SuiteRunner(config=SupervisorConfig(max_retries=0))
+    report = runner.run([job], name=f"run-{args.kernel}-{args.matrix}")
+    row = report.rows[0]
+    if row["status"] != "ok":
+        print(f"error: {row['failure']['error']}", file=sys.stderr)
+        return 1
+    results = row["result"]["results"]
+    gains = row["result"]["gains"]
     if args.json:
         payload = {
             "kernel": args.kernel,
@@ -672,11 +850,6 @@ def _command_trace(args) -> int:
     trace = build_trace(args.kernel, args.matrix, scale=args.scale)
     mode = _mode(args.mode)
     model_kernel = "spmspm" if args.kernel == "spmspm" else "spmspv"
-    model = (
-        load_model(args.model)
-        if args.model
-        else train_default_model(mode, kernel=model_kernel, l1_type="cache")
-    )
     faults, hardening = _fault_setup(args)
     if args.faults:
         fault_kwargs = {"faults": faults, "hardening": hardening}
@@ -687,16 +860,54 @@ def _command_trace(args) -> int:
             "telemetry_noise": args.noise,
             "noise_seed": args.noise_seed,
         }
-    controller = SparseAdaptController(
-        model=model,
-        machine=TransmuterModel(bandwidth_gbps=args.bandwidth),
-        mode=mode,
-        policy=default_policy_for(model_kernel),
-        **fault_kwargs,
+    def record() -> dict:
+        model = (
+            load_model(args.model)
+            if args.model
+            else train_default_model(
+                mode, kernel=model_kernel, l1_type="cache"
+            )
+        )
+        controller = SparseAdaptController(
+            model=model,
+            machine=TransmuterModel(bandwidth_gbps=args.bandwidth),
+            mode=mode,
+            policy=default_policy_for(model_kernel),
+            **fault_kwargs,
+        )
+        with obs.recording(args.trace_out) as recorder:
+            schedule = controller.run(trace)
+            emitted = recorder.n_emitted
+        return {"schedule": schedule, "emitted": emitted}
+
+    # Route the recorded run through the suite runner so --deadline
+    # bounds it; every print below already happens after the run, so
+    # the output is unchanged when no deadline is set.
+    from repro.runner import Job, SuiteRunner, SupervisorConfig, job_key
+
+    job = Job(
+        key=job_key(
+            {
+                "type": "trace",
+                "kernel": args.kernel,
+                "matrix": args.matrix,
+                "scale": args.scale,
+                "mode": args.mode,
+            }
+        ),
+        label=f"trace/{args.kernel}/{args.matrix}",
+        fn=record,
+        index=0,
+        deadline_s=args.deadline,
     )
-    with obs.recording(args.trace_out) as recorder:
-        schedule = controller.run(trace)
-        emitted = recorder.n_emitted
+    runner = SuiteRunner(config=SupervisorConfig(max_retries=0))
+    report = runner.run([job], name=f"trace-{args.kernel}-{args.matrix}")
+    row = report.rows[0]
+    if row["status"] != "ok":
+        print(f"error: {row['failure']['error']}", file=sys.stderr)
+        return 1
+    schedule = row["result"]["schedule"]
+    emitted = row["result"]["emitted"]
     print(
         f"trace: {trace.name} ({trace.n_epochs} epochs) -> "
         f"{args.trace_out} ({emitted} records)"
@@ -804,14 +1015,28 @@ def _command_suite_run(args) -> int:
         backoff_base_s=args.backoff,
         seed=args.seed,
     )
-    report = run_plan(
-        plan,
-        config=config,
-        ledger_path=args.ledger,
-        resume=args.resume,
-        max_jobs=args.max_jobs,
-        workers=args.workers,
-    )
+
+    def execute():
+        return run_plan(
+            plan,
+            config=config,
+            ledger_path=args.ledger,
+            resume=args.resume,
+            max_jobs=args.max_jobs,
+            workers=args.workers,
+        )
+
+    profiler = None
+    if args.profile:
+        from repro.obs import profile as obs_profile
+
+        # Workers see the "profile" flag in their payload, run their
+        # own Profiler, and export their span tree back to the parent
+        # for merging — so the report covers the whole campaign.
+        with obs_profile.profiling() as profiler:
+            report = execute()
+    else:
+        report = execute()
     payload = _to_jsonable(report.as_dict())
     if args.out:
         write_atomic(
@@ -823,6 +1048,35 @@ def _command_suite_run(args) -> int:
         print(format_suite_table(report))
         if args.out:
             print(f"suite report written to {args.out}")
+    if profiler is not None:
+        _emit_profile(profiler, args)
+    if args.metrics_out:
+        from repro.obs import live
+        from repro.obs import metrics as obs_metrics
+
+        registry = obs_metrics.MetricsRegistry()
+        if args.ledger:
+            live.export_campaign_metrics(
+                live.read_live(args.ledger), registry
+            )
+        else:
+            # No ledger: no heartbeats survive anywhere, so publish the
+            # campaign totals straight from the in-memory report.
+            counts = report.counts()
+            registry.gauge(
+                "campaign.jobs.total", "Jobs in the campaign plan"
+            ).set(len(report.rows))
+            registry.gauge(
+                "campaign.jobs.done", "Jobs finished ok"
+            ).set(counts.get("ok", 0))
+            registry.gauge(
+                "campaign.jobs.failed", "Jobs failed or quarantined"
+            ).set(
+                counts.get("failed", 0) + counts.get("quarantined", 0)
+            )
+        write_atomic(args.metrics_out, registry.render_openmetrics())
+        if not args.json:
+            print(f"metrics written to {args.metrics_out}")
     if report.partial:
         hint = "; rerun with --resume to continue" if args.ledger else ""
         print(
@@ -853,6 +1107,72 @@ def _command_suite_report(args) -> int:
         print(json.dumps(_to_jsonable(summary), indent=2, sort_keys=True))
     else:
         print(format_ledger_summary(summary))
+    return 0
+
+
+def _command_top(args) -> int:
+    import time as time_module
+
+    from repro.obs import live
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.sinks import write_atomic
+
+    def snapshot():
+        status = live.read_live(
+            args.ledger, straggler_after_s=args.straggler_threshold
+        )
+        if args.metrics_out:
+            registry = obs_metrics.MetricsRegistry()
+            live.export_campaign_metrics(status, registry)
+            write_atomic(args.metrics_out, registry.render_openmetrics())
+        return status
+
+    if args.once or args.json:
+        status = snapshot()
+        if args.json:
+            print(
+                json.dumps(
+                    _to_jsonable(status.as_dict()), indent=2, sort_keys=True
+                )
+            )
+        else:
+            print(live.render_top(status), end="")
+        return 0
+    while True:
+        status = snapshot()
+        # Full-screen refresh: clear, home, redraw.
+        sys.stdout.write("\x1b[2J\x1b[H")
+        sys.stdout.write(live.render_top(status))
+        sys.stdout.flush()
+        if status.complete:
+            return 0
+        time_module.sleep(args.interval)
+
+
+def _command_profile_report(args) -> int:
+    from repro.obs import profile as obs_profile
+
+    try:
+        data = obs_profile.load_profile(args.path)
+    except FileNotFoundError:
+        print(f"error: no such profile file: {args.path}", file=sys.stderr)
+        return 1
+    except IsADirectoryError:
+        print(
+            f"error: {args.path} is a directory, not a profile",
+            file=sys.stderr,
+        )
+        return 1
+    except ValueError as exc:  # malformed JSON or wrong schema
+        print(f"error: {args.path}: {exc}", file=sys.stderr)
+        return 1
+    if args.collapsed:
+        sys.stdout.write(obs_profile.collapsed_stacks(data))
+        return 0
+    if args.json:
+        print(json.dumps(_to_jsonable(data), indent=2, sort_keys=True))
+        return 0
+    print(obs_profile.format_profile_report(data, top=args.top), end="")
     return 0
 
 
@@ -1011,6 +1331,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "faults": lambda: _command_faults(args),
         "suite-run": lambda: _command_suite_run(args),
         "suite-report": lambda: _command_suite_report(args),
+        "top": lambda: _command_top(args),
+        "profile-report": lambda: _command_profile_report(args),
     }
     try:
         return handlers[args.command]()

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.telemetry import build_features, feature_groups, feature_names
 from repro.errors import ModelError
+from repro.obs import profile as obs_profile
 from repro.ml.metrics import grouped_importance
 from repro.transmuter.config import (
     RUNTIME_PARAMETERS,
@@ -71,14 +72,15 @@ class SparseAdaptModel:
                 f"model trained for l1_type={self.l1_type!r}, "
                 f"got {current.l1_type!r}"
             )
-        row = build_features(counters, current).reshape(1, -1)
-        values = {}
-        for name in self.predicted_parameters():
-            prediction = self.trees[name].predict(row)[0]
-            values[name] = self._coerce(name, prediction)
-        if self.l1_type == "spm":
-            values["l1_kb"] = SPM_FIXED_L1_KB
-        return HardwareConfig(l1_type=self.l1_type, **values)
+        with obs_profile.span("forest_inference"):
+            row = build_features(counters, current).reshape(1, -1)
+            values = {}
+            for name in self.predicted_parameters():
+                prediction = self.trees[name].predict(row)[0]
+                values[name] = self._coerce(name, prediction)
+            if self.l1_type == "spm":
+                values["l1_kb"] = SPM_FIXED_L1_KB
+            return HardwareConfig(l1_type=self.l1_type, **values)
 
     def predict_with_provenance(
         self,
@@ -108,6 +110,14 @@ class SparseAdaptModel:
                 f"model trained for l1_type={self.l1_type!r}, "
                 f"got {current.l1_type!r}"
             )
+        with obs_profile.span("forest_inference"):
+            return self._predict_with_provenance(counters, current)
+
+    def _predict_with_provenance(
+        self,
+        counters: PerformanceCounters,
+        current: HardwareConfig,
+    ):
         row = build_features(counters, current)
         names = feature_names()
         values: Dict[str, object] = {}

@@ -108,16 +108,19 @@ def train_default_model(
     key = (mode, kernel, l1_type, quick, k_samples, seed)
     if key in _MODEL_CACHE:
         return _MODEL_CACHE[key]
-    phases = table3_phases(kernel, l1_type=l1_type, seed=seed)
-    training_set = build_training_set(
-        phases, mode, k_samples=k_samples, seed=seed
-    )
-    model = train_model(
-        training_set,
-        l1_type=l1_type,
-        param_grid=QUICK_PARAM_GRID if quick else DEFAULT_PARAM_GRID,
-        seed=seed,
-    )
+    from repro.obs import profile as obs_profile
+
+    with obs_profile.span("model_training"):
+        phases = table3_phases(kernel, l1_type=l1_type, seed=seed)
+        training_set = build_training_set(
+            phases, mode, k_samples=k_samples, seed=seed
+        )
+        model = train_model(
+            training_set,
+            l1_type=l1_type,
+            param_grid=QUICK_PARAM_GRID if quick else DEFAULT_PARAM_GRID,
+            seed=seed,
+        )
     _MODEL_CACHE[key] = model
     return model
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro import obs
+from repro.obs import profile as obs_profile
 from repro.baselines import (
     BASELINE,
     BEST_AVG_CACHE,
@@ -133,9 +134,10 @@ def build_trace(
     with recorder.span(
         "harness.build_trace", kernel=kernel, matrix=matrix_id, scale=scale
     ) as span:
-        trace = _build_trace_uncached(
-            kernel, matrix_id, scale, epoch_fp_ops, vector_density, seed
-        )
+        with obs_profile.span("build_trace"):
+            trace = _build_trace_uncached(
+                kernel, matrix_id, scale, epoch_fp_ops, vector_density, seed
+            )
         span.set(n_epochs=trace.n_epochs)
     if use_cache:
         with _TRACE_CACHE_LOCK:
@@ -240,25 +242,27 @@ def evaluate_schemes(
     )
     table: Optional[EpochTable] = None
     if needs_table:
-        table = EpochTable(
-            context.machine,
-            context.trace,
-            n_samples=context.n_samples,
-            l1_type=context.l1_type,
-            seed=context.seed,
-            include=list(statics.values()),
-        )
+        with obs_profile.span("epoch_table"):
+            table = EpochTable(
+                context.machine,
+                context.trace,
+                n_samples=context.n_samples,
+                l1_type=context.l1_type,
+                seed=context.seed,
+                include=list(statics.values()),
+            )
     pa_table: Optional[EpochTable] = None
     if any(name.startswith("ProfileAdapt") for name in schemes):
         pa_trace = context.profiling_epoch_trace or context.trace
-        pa_table = EpochTable(
-            context.machine,
-            pa_trace,
-            n_samples=context.n_samples,
-            l1_type=context.l1_type,
-            seed=context.seed,
-            include=list(statics.values()),
-        )
+        with obs_profile.span("epoch_table"):
+            pa_table = EpochTable(
+                context.machine,
+                pa_trace,
+                n_samples=context.n_samples,
+                l1_type=context.l1_type,
+                seed=context.seed,
+                include=list(statics.values()),
+            )
 
     def run_scheme(name: str) -> ScheduleResult:
         if name in statics:
@@ -301,7 +305,8 @@ def evaluate_schemes(
         with recorder.span(
             "harness.scheme", scheme=name, trace=context.trace.name
         ) as span:
-            results[name] = run_scheme(name)
+            with obs_profile.span(f"scheme:{name.replace(' ', '_')}"):
+                results[name] = run_scheme(name)
             span.set(
                 gflops=results[name].gflops,
                 gflops_per_watt=results[name].gflops_per_watt,

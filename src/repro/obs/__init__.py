@@ -11,7 +11,14 @@ gives the runtime three capabilities:
   is a no-op fast path.
 * **Metrics** — :mod:`repro.obs.metrics` holds the process-wide
   registry of counters/gauges/histograms with labeled children,
-  ``snapshot()`` dict export and Prometheus-style ``render()``.
+  ``snapshot()`` dict export, Prometheus-style ``render()`` and the
+  scraper-facing ``render_openmetrics()``.
+* **Profiling** — :mod:`repro.obs.profile` attributes wall-clock to
+  the instrumented components (kernel sim, forest inference, cache/
+  power models, reconfig, ledger/sink I/O) via hierarchical spans;
+  ``repro run/suite-run --profile`` and ``repro profile-report``.
+* **Live campaigns** — :mod:`repro.obs.live` aggregates the runner's
+  heartbeat records into progress/ETA/straggler status (``repro top``).
 * **Reports** — :mod:`repro.obs.report` summarizes a recorded trace
   (epoch timeline, reconfiguration counts, decision-latency
   histogram), backing the ``repro trace-report`` CLI command.
@@ -31,7 +38,7 @@ Typical use::
 See ``docs/observability.md`` for the trace schema and naming rules.
 """
 
-from repro.obs import diff, explain, metrics, report
+from repro.obs import diff, explain, live, metrics, profile, report
 from repro.obs.sinks import (
     FileSink,
     MemorySink,
@@ -53,7 +60,9 @@ from repro.obs.trace import (
 __all__ = [
     "diff",
     "explain",
+    "live",
     "metrics",
+    "profile",
     "report",
     "TraceSink",
     "NullSink",

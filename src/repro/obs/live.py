@@ -1,0 +1,468 @@
+"""Live campaign monitor: heartbeat aggregation, ETA, stragglers.
+
+Long parallel campaigns (PR 5's sharded runner) used to run blind:
+nothing visible until the shards merged. Runners now append volatile
+``heartbeat`` records to whichever ledger they hold — the canonical
+file for a serial run, the private ``<ledger>.w<k>`` shard for each
+worker — carrying wall-clock timestamp, jobs done/failed so far, shard
+total, and the label of the job being started. Heartbeats are the one
+record type every results reader skips: the byte-identical merge drops
+them, resume ignores them, and a torn heartbeat (they are flushed, not
+fsynced) costs nothing.
+
+:func:`read_live` folds the canonical ledger plus any live shards into
+a :class:`CampaignStatus`: per-worker progress, heartbeat age, an EWMA
+jobs/s rate, campaign ETA from the aggregate rate, and
+straggler/dead-worker flags from heartbeat staleness. :func:`render_top`
+draws the ``repro top`` terminal view and
+:func:`export_campaign_metrics` publishes the same numbers as gauges in
+a :class:`~repro.obs.metrics.MetricsRegistry`, so
+``render_openmetrics()`` gives external scrapers the campaign's pulse.
+
+Imports from :mod:`repro.runner` stay function-local: ``repro.obs`` is
+the bottom layer and the runner imports it back.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "DEFAULT_STRAGGLER_AFTER_S",
+    "DEAD_AFTER_FACTOR",
+    "EWMA_ALPHA",
+    "WorkerStatus",
+    "CampaignStatus",
+    "ewma_rate",
+    "read_live",
+    "render_top",
+    "export_campaign_metrics",
+]
+
+#: A worker whose last heartbeat is older than this is a straggler.
+DEFAULT_STRAGGLER_AFTER_S = 30.0
+
+#: ... and older than ``factor * threshold`` is presumed dead.
+DEAD_AFTER_FACTOR = 4.0
+
+#: Smoothing factor for the per-worker jobs/s EWMA.
+EWMA_ALPHA = 0.3
+
+
+@dataclass
+class WorkerStatus:
+    """One runner's view: the serial runner (``worker=None``) or one
+    parallel shard."""
+
+    worker: Optional[int]
+    done: int = 0
+    failed: int = 0
+    total: int = 0
+    last_ts: Optional[float] = None
+    last_job: Optional[str] = None
+    rate_jobs_s: float = 0.0
+    stale_s: float = 0.0
+    finished: bool = False
+    straggler: bool = False
+    dead: bool = False
+
+    @property
+    def label(self) -> str:
+        return "serial" if self.worker is None else f"w{self.worker}"
+
+
+@dataclass
+class CampaignStatus:
+    """Aggregated live view of one campaign ledger."""
+
+    ledger_path: str
+    plan_name: str
+    total: int = 0
+    done: int = 0
+    failed: int = 0
+    quarantined: Dict[str, int] = field(default_factory=dict)
+    workers: List[WorkerStatus] = field(default_factory=list)
+    throughput_jobs_s: float = 0.0
+    eta_s: float = float("nan")
+    now: float = 0.0
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.total - self.done - self.failed)
+
+    @property
+    def complete(self) -> bool:
+        return self.total > 0 and self.remaining == 0
+
+    @property
+    def stragglers(self) -> List[WorkerStatus]:
+        return [w for w in self.workers if w.straggler]
+
+    def as_dict(self) -> dict:
+        return {
+            "ledger": self.ledger_path,
+            "plan_name": self.plan_name,
+            "total": self.total,
+            "done": self.done,
+            "failed": self.failed,
+            "quarantined": dict(self.quarantined),
+            "remaining": self.remaining,
+            "complete": self.complete,
+            "throughput_jobs_s": self.throughput_jobs_s,
+            "eta_s": self.eta_s,
+            "workers": [
+                {
+                    "worker": w.label,
+                    "done": w.done,
+                    "failed": w.failed,
+                    "total": w.total,
+                    "rate_jobs_s": w.rate_jobs_s,
+                    "heartbeat_age_s": w.stale_s,
+                    "job": w.last_job,
+                    "finished": w.finished,
+                    "straggler": w.straggler,
+                    "dead": w.dead,
+                }
+                for w in self.workers
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+def ewma_rate(
+    samples: Sequence[Tuple[float, int]], alpha: float = EWMA_ALPHA
+) -> float:
+    """Exponentially weighted jobs/s over ``(ts, jobs_finished)``
+    heartbeat samples. Intervals where the count did not advance still
+    decay the estimate toward zero — a stalled worker's rate fades
+    rather than freezing at its last good value."""
+    rate: Optional[float] = None
+    for (t0, n0), (t1, n1) in zip(samples, samples[1:]):
+        dt = t1 - t0
+        if dt <= 0:
+            continue
+        instantaneous = max(0, n1 - n0) / dt
+        rate = (
+            instantaneous
+            if rate is None
+            else alpha * instantaneous + (1.0 - alpha) * rate
+        )
+    return rate or 0.0
+
+
+def _worker_from_heartbeats(
+    worker: Optional[int], beats: List[dict], now: float
+) -> WorkerStatus:
+    status = WorkerStatus(worker=worker)
+    samples: List[Tuple[float, int]] = []
+    for beat in beats:
+        ts = beat.get("ts")
+        if not isinstance(ts, (int, float)):
+            continue
+        done = int(beat.get("done", 0))
+        failed = int(beat.get("failed", 0))
+        status.done = done
+        status.failed = failed
+        status.total = int(beat.get("total", status.total))
+        status.last_ts = float(ts)
+        status.last_job = beat.get("job")
+        samples.append((float(ts), done + failed))
+    status.rate_jobs_s = ewma_rate(samples)
+    status.finished = (
+        status.total > 0 and status.done + status.failed >= status.total
+    )
+    if status.last_ts is not None:
+        status.stale_s = max(0.0, now - status.last_ts)
+    return status
+
+
+def read_live(
+    ledger_path: Union[str, Path],
+    now: Optional[float] = None,
+    straggler_after_s: float = DEFAULT_STRAGGLER_AFTER_S,
+) -> CampaignStatus:
+    """Aggregate a campaign's canonical ledger plus live shards.
+
+    The campaign total is taken from the runners themselves: the
+    serial runner's heartbeats carry the full job count, and in a
+    parallel run each shard's heartbeats carry that shard's count, on
+    top of whatever the canonical ledger already holds as terminal rows
+    (resumed work, or shards already merged). ``now`` is injectable
+    for deterministic tests.
+    """
+    import time as _time
+
+    from repro.runner.ledger import (
+        TERMINAL_TYPES,
+        list_shards,
+        read_ledger_records,
+    )
+
+    ledger_path = Path(ledger_path)
+    if not ledger_path.exists():
+        raise ConfigError(f"no ledger at {ledger_path}")
+    now = _time.time() if now is None else now
+
+    records, _ = read_ledger_records(ledger_path)
+    plan_name = "campaign"
+    plan_key = None
+    for record in records:
+        if record.get("type") == "header":
+            plan_name = record.get("plan_name", plan_name)
+            plan_key = record.get("plan_key")
+            break
+    else:
+        raise ConfigError(
+            f"{ledger_path} is not a run ledger (missing header)"
+        )
+
+    status = CampaignStatus(
+        ledger_path=str(ledger_path), plan_name=plan_name, now=now
+    )
+
+    # Canonical terminal rows: done/failed/quarantined jobs already
+    # settled (serial progress, resumed work, merged shards).
+    terminal: Dict[str, dict] = {}
+    serial_beats: List[dict] = []
+    for record in records:
+        kind = record.get("type")
+        if kind in TERMINAL_TYPES:
+            terminal.setdefault(str(record.get("key")), record)
+        elif kind == "heartbeat" and record.get("worker") is None:
+            serial_beats.append(record)
+    def _is_failed(record: dict) -> bool:
+        row = record.get("row", {})
+        failed = record.get("type") == "quarantined" or row.get(
+            "status"
+        ) in ("failed", "quarantined")
+        if failed:
+            failure = row.get("failure") or {}
+            kind = str(failure.get("kind", "unknown"))
+            status.quarantined[kind] = status.quarantined.get(kind, 0) + 1
+        return failed
+
+    canonical_done = canonical_failed = 0
+    for record in terminal.values():
+        if _is_failed(record):
+            canonical_failed += 1
+        else:
+            canonical_done += 1
+    status.done = canonical_done
+    status.failed = canonical_failed
+
+    # Live shards: per-worker heartbeats plus any terminal rows a
+    # worker fsynced that the parent has not merged yet.
+    shard_total = 0
+    for path in list_shards(ledger_path):
+        shard_records, _ = read_ledger_records(path)
+        worker: Optional[int] = None
+        beats: List[dict] = []
+        shard_terminal: Dict[str, dict] = {}
+        foreign = False
+        for record in shard_records:
+            kind = record.get("type")
+            if kind == "header":
+                if plan_key is not None and record.get("plan_key") not in (
+                    None,
+                    plan_key,
+                ):
+                    foreign = True
+                    break
+                worker = record.get("worker", worker)
+            elif kind == "heartbeat":
+                if worker is None:
+                    worker = record.get("worker")
+                beats.append(record)
+            elif kind in TERMINAL_TYPES:
+                shard_terminal.setdefault(str(record.get("key")), record)
+        if foreign:
+            continue
+        wstat = _worker_from_heartbeats(worker, beats, now)
+        # Trust fsynced terminal rows over the (possibly older) last
+        # heartbeat counters.
+        n_failed = sum(
+            1 for r in shard_terminal.values() if _is_failed(r)
+        )
+        n_done = len(shard_terminal) - n_failed
+        wstat.done = max(wstat.done, n_done)
+        wstat.failed = max(wstat.failed, n_failed)
+        wstat.finished = (
+            wstat.total > 0 and wstat.done + wstat.failed >= wstat.total
+        )
+        status.workers.append(wstat)
+        status.done += wstat.done
+        status.failed += wstat.failed
+        shard_total += wstat.total
+
+    if serial_beats and not status.workers:
+        wstat = _worker_from_heartbeats(None, serial_beats, now)
+        # The canonical terminal rows ARE this runner's progress.
+        wstat.done = max(wstat.done, canonical_done)
+        wstat.failed = max(wstat.failed, canonical_failed)
+        wstat.finished = (
+            wstat.total > 0 and wstat.done + wstat.failed >= wstat.total
+        )
+        status.workers.append(wstat)
+        status.total = wstat.total
+        status.done = wstat.done
+        status.failed = wstat.failed
+    elif status.workers:
+        status.total = len(terminal) + shard_total
+    else:
+        status.total = len(terminal)
+
+    status.workers.sort(
+        key=lambda w: (w.worker is None, w.worker if w.worker is not None else -1)
+    )
+
+    # Staleness flags and the aggregate rate of workers still earning.
+    aggregate = 0.0
+    for wstat in status.workers:
+        if not wstat.finished and wstat.last_ts is not None:
+            wstat.straggler = wstat.stale_s > straggler_after_s
+            wstat.dead = (
+                wstat.stale_s > straggler_after_s * DEAD_AFTER_FACTOR
+            )
+        if not wstat.finished and not wstat.dead:
+            aggregate += wstat.rate_jobs_s
+    status.throughput_jobs_s = aggregate
+
+    if status.remaining == 0:
+        status.eta_s = 0.0
+    elif aggregate > 0:
+        status.eta_s = status.remaining / aggregate
+    return status
+
+
+# ---------------------------------------------------------------------------
+def _bar(fraction: float, width: int = 24) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _fmt_eta(eta_s: float) -> str:
+    if math.isnan(eta_s):
+        return "unknown"
+    if eta_s >= 3600:
+        return f"{eta_s / 3600:.1f}h"
+    if eta_s >= 60:
+        return f"{eta_s / 60:.1f}m"
+    return f"{eta_s:.0f}s"
+
+
+def render_top(status: CampaignStatus) -> str:
+    """The ``repro top`` terminal snapshot."""
+    frac = (
+        (status.done + status.failed) / status.total
+        if status.total
+        else 0.0
+    )
+    lines = [
+        "campaign {!r} — {}".format(status.plan_name, status.ledger_path),
+        "  progress  : {}/{} jobs ({} ok, {} failed) [{}] {:.0f}%".format(
+            status.done + status.failed,
+            status.total,
+            status.done,
+            status.failed,
+            _bar(frac),
+            frac * 100.0,
+        ),
+    ]
+    if status.quarantined:
+        kinds = ", ".join(
+            f"{kind}={n}" for kind, n in sorted(status.quarantined.items())
+        )
+        lines.append(f"  quarantine: {kinds}")
+    lines.append(
+        "  throughput: {:.2f} job/s — ETA {}".format(
+            status.throughput_jobs_s,
+            "done" if status.complete else _fmt_eta(status.eta_s),
+        )
+    )
+    if status.workers:
+        lines.append("  runners:")
+        for w in status.workers:
+            flag = ""
+            if w.dead:
+                flag = "  DEAD"
+            elif w.straggler:
+                flag = "  STRAGGLER"
+            elif w.finished:
+                flag = "  done"
+            job = f"  [{w.last_job}]" if w.last_job and not w.finished else ""
+            age = (
+                f"hb {w.stale_s:.1f}s ago"
+                if w.last_ts is not None
+                else "no heartbeat"
+            )
+            lines.append(
+                "    {:<7} {:>3}/{:<3} done  {:>6.2f} job/s  {:<16}{}{}".format(
+                    w.label,
+                    w.done + w.failed,
+                    w.total,
+                    w.rate_jobs_s,
+                    age,
+                    job,
+                    flag,
+                )
+            )
+    elif status.complete:
+        lines.append("  runners: (campaign complete; shards merged)")
+    else:
+        lines.append("  runners: (no heartbeats yet)")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+def export_campaign_metrics(status: CampaignStatus, registry=None):
+    """Publish the campaign status as gauges in ``registry`` (the
+    process-wide one by default) and return the registry, ready for
+    ``render_openmetrics()``."""
+    from repro.obs import metrics as obs_metrics
+
+    registry = registry if registry is not None else obs_metrics.REGISTRY
+    registry.gauge(
+        "campaign.jobs.total", "Jobs in the campaign plan"
+    ).set(status.total)
+    registry.gauge(
+        "campaign.jobs.done", "Jobs finished ok"
+    ).set(status.done)
+    registry.gauge(
+        "campaign.jobs.failed", "Jobs failed or quarantined"
+    ).set(status.failed)
+    registry.gauge(
+        "campaign.jobs.remaining", "Jobs not yet terminal"
+    ).set(status.remaining)
+    registry.gauge(
+        "campaign.throughput.jobs_per_s",
+        "Aggregate EWMA throughput of live runners",
+    ).set(status.throughput_jobs_s)
+    registry.gauge(
+        "campaign.eta.s", "Estimated seconds to completion (NaN unknown)"
+    ).set(status.eta_s)
+    registry.gauge(
+        "campaign.stragglers", "Runners past the straggler threshold"
+    ).set(len(status.stragglers))
+    done = registry.gauge(
+        "campaign.worker.done", "Terminal jobs per runner"
+    )
+    rate = registry.gauge(
+        "campaign.worker.rate_jobs_per_s", "Per-runner EWMA throughput"
+    )
+    age = registry.gauge(
+        "campaign.worker.heartbeat_age_s", "Seconds since last heartbeat"
+    )
+    flag = registry.gauge(
+        "campaign.worker.straggler", "1 when past the straggler threshold"
+    )
+    for w in status.workers:
+        done.labels(worker=w.label).set(w.done + w.failed)
+        rate.labels(worker=w.label).set(w.rate_jobs_s)
+        age.labels(worker=w.label).set(w.stale_s)
+        flag.labels(worker=w.label).set(1.0 if w.straggler else 0.0)
+    return registry

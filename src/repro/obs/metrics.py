@@ -39,6 +39,7 @@ __all__ = [
     "histogram",
     "snapshot",
     "render",
+    "render_openmetrics",
     "reset",
 ]
 
@@ -310,14 +311,21 @@ class MetricsRegistry:
             }
         return out
 
+    def _ordered_metrics(self) -> List[_Instrument]:
+        """Every metric in deterministic order: sorted by name, and
+        each metric's series sorted by label pairs (``_series()``
+        iterates children in sorted-key order). Both text renderers
+        share this, so two registries holding the same values render
+        byte-identically regardless of creation/update order."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return [metrics[name] for name in sorted(metrics)]
+
     def render(self) -> str:
         """Prometheus text exposition of the registry."""
         lines: List[str] = []
-        with self._lock:
-            metrics = dict(self._metrics)
-        for name in sorted(metrics):
-            metric = metrics[name]
-            prom = name.replace(".", "_").replace("-", "_")
+        for metric in self._ordered_metrics():
+            prom = metric.name.replace(".", "_").replace("-", "_")
             if metric.help:
                 lines.append(f"# HELP {prom} {metric.help}")
             lines.append(f"# TYPE {prom} {metric.kind}")
@@ -335,6 +343,40 @@ class MetricsRegistry:
                     labels = _format_labels(pairs)
                     lines.append(f"{prom}{labels} {instrument.value:g}")
         return "\n".join(lines) + ("\n" if lines else "")
+
+    def render_openmetrics(self) -> str:
+        """OpenMetrics text exposition (what external scrapers pull).
+
+        Differs from :meth:`render` in the details the OpenMetrics
+        spec pins down: counter samples carry the ``_total`` suffix,
+        NaN gauge values render as ``NaN``, and the exposition ends
+        with the mandatory ``# EOF`` terminator. Ordering is the same
+        deterministic name-then-label-pairs order.
+        """
+        lines: List[str] = []
+        for metric in self._ordered_metrics():
+            om = metric.name.replace(".", "_").replace("-", "_")
+            lines.append(f"# TYPE {om} {metric.kind}")
+            if metric.help:
+                lines.append(f"# HELP {om} {metric.help}")
+            for instrument in metric._series():
+                pairs = instrument.label_pairs
+                if isinstance(instrument, Histogram):
+                    for bound, running in instrument.cumulative():
+                        le = "+Inf" if bound == float("inf") else f"{bound:g}"
+                        labels = _format_labels(pairs, f'le="{le}"')
+                        lines.append(f"{om}_bucket{labels} {running}")
+                    labels = _format_labels(pairs)
+                    lines.append(f"{om}_sum{labels} {instrument.sum:g}")
+                    lines.append(f"{om}_count{labels} {instrument.count}")
+                else:
+                    suffix = "_total" if metric.kind == "counter" else ""
+                    labels = _format_labels(pairs)
+                    value = instrument.value
+                    rendered = "NaN" if value != value else f"{value:g}"
+                    lines.append(f"{om}{suffix}{labels} {rendered}")
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
 
     def reset(self) -> None:
         """Forget every metric (tests and fresh CLI invocations)."""
@@ -366,6 +408,10 @@ def snapshot() -> Dict[str, Dict]:
 
 def render() -> str:
     return REGISTRY.render()
+
+
+def render_openmetrics() -> str:
+    return REGISTRY.render_openmetrics()
 
 
 def reset() -> None:

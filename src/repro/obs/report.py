@@ -185,6 +185,13 @@ def _fmt(value, spec: str = ".4g", fallback: str = "-") -> str:
         return str(value)
 
 
+def _fmt_us(seconds: float) -> str:
+    """Microseconds with NaN spelled out (empty-histogram quantiles)."""
+    if seconds != seconds:
+        return "NaN"
+    return f"{seconds * 1e6:.2f}"
+
+
 def render(summary: Dict, top: int = 5, max_timeline_rows: int = 64) -> str:
     """Human-readable report of a summarized trace."""
     lines: List[str] = []
@@ -270,19 +277,19 @@ def render(summary: Dict, top: int = 5, max_timeline_rows: int = 64) -> str:
     lines.append(
         f"--- host decision latency ({len(latencies)} decisions) ---"
     )
+    histogram = Histogram("decision_latency", buckets=DEFAULT_BUCKETS)
+    for value in latencies:
+        histogram.observe(value)
+    # An empty histogram's quantiles are NaN; render them as such so
+    # the quantile line is always present (and machine-greppable)
+    # instead of silently disappearing for empty traces.
+    p50, p90, p99 = histogram.quantiles((0.50, 0.90, 0.99))
+    lines.append(
+        "p50/p90/p99 (bucket-estimated): {} / {} / {} us".format(
+            _fmt_us(p50), _fmt_us(p90), _fmt_us(p99)
+        )
+    )
     if latencies:
-        histogram = Histogram(
-            "decision_latency", buckets=DEFAULT_BUCKETS
-        )
-        for value in latencies:
-            histogram.observe(value)
-        p50, p90, p99 = histogram.quantiles((0.50, 0.90, 0.99))
-        lines.append(
-            "p50/p90/p99 (bucket-estimated): "
-            "{:.2f} / {:.2f} / {:.2f} us".format(
-                p50 * 1e6, p90 * 1e6, p99 * 1e6
-            )
-        )
         lines.append(
             "min/max: {:.2f} / {:.2f} us".format(
                 min(latencies) * 1e6, max(latencies) * 1e6

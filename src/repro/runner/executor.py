@@ -45,6 +45,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.obs import profile as obs_profile
 from repro.errors import (
     ConfigError,
     JobTimeoutError,
@@ -247,6 +248,8 @@ class SuiteRunner:
         started = time.perf_counter()
         rows: List[Optional[dict]] = [None] * len(jobs)
         completed = 0
+        n_ok = 0
+        n_failed = 0
         try:
             for position, job in enumerate(jobs):
                 cached = (
@@ -258,6 +261,10 @@ class SuiteRunner:
                     rows[position] = dict(cached["row"])
                     report.n_resumed += 1
                     completed += 1
+                    if cached["row"].get("status") == "ok":
+                        n_ok += 1
+                    else:
+                        n_failed += 1
                     self._emit(
                         recorder,
                         "runner.job.resumed",
@@ -269,8 +276,25 @@ class SuiteRunner:
                         "runner.jobs", "campaign jobs by terminal status"
                     ).labels(status="resumed").inc()
                     continue
-                rows[position] = self._run_one(job, recorder)
+                if self.ledger is not None:
+                    # Liveness for `repro top`: who is about to run what.
+                    self.ledger.heartbeat(
+                        done=n_ok,
+                        failed=n_failed,
+                        total=len(jobs),
+                        job=job.label,
+                    )
+                row = self._run_one(job, recorder)
+                rows[position] = row
                 completed += 1
+                if row.get("status") == "ok":
+                    n_ok += 1
+                else:
+                    n_failed += 1
+            if self.ledger is not None and jobs:
+                self.ledger.heartbeat(
+                    done=n_ok, failed=n_failed, total=len(jobs)
+                )
         except KeyboardInterrupt:
             raise CampaignInterrupted(
                 report.ledger_path, completed, len(jobs)
@@ -374,6 +398,7 @@ class SuiteRunner:
             if self.faults_schedule is not None
             else None
         )
+        profiler = obs_profile.get_profiler()
         summaries: List[dict] = []
         worker_errors: List[Tuple[int, str]] = []
         interrupted = False
@@ -396,6 +421,7 @@ class SuiteRunner:
                         "plan_name": name,
                         "config": config_dict,
                         "faults": faults_dict,
+                        "profile": profiler.enabled,
                         "jobs": [job.as_dict() for job in part],
                     }
                     futures[pool.submit(run_worker_shard, payload)] = rank
@@ -420,6 +446,9 @@ class SuiteRunner:
                             )
                             continue
                         summaries.append(summary)
+                        # Workers profile their own process; fold their
+                        # span trees into the campaign profile.
+                        profiler.merge(summary.get("profile"))
                         if summary.get("interrupted"):
                             interrupted = True
                         self._emit(

@@ -36,16 +36,19 @@ from __future__ import annotations
 import json
 import os
 import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigError
+from repro.obs import profile as obs_profile
 from repro.obs.sinks import encode_record
 
 __all__ = [
     "LEDGER_VERSION",
     "TERMINAL_TYPES",
+    "VOLATILE_TYPES",
     "RunLedger",
     "ShardData",
     "MergeStats",
@@ -61,6 +64,10 @@ LEDGER_VERSION = 1
 
 #: Record types that finish a job; everything else is in-flight state.
 TERMINAL_TYPES = ("done", "quarantined")
+
+#: Volatile record types: provenance/progress only, never job state.
+#: The byte-identical merge drops them and resume ignores them.
+VOLATILE_TYPES = ("merge", "heartbeat")
 
 _SHARD_SUFFIX = re.compile(r"\.w(\d+)$")
 
@@ -200,9 +207,10 @@ class RunLedger:
 
     def _append(self, record: dict) -> None:
         """One durable line: write, flush, fsync."""
-        self._handle.write(encode_record(record) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        with obs_profile.span("ledger_io"):
+            self._handle.write(encode_record(record) + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
 
     # ------------------------------------------------------------------
     def job_started(self, key: str, index: int, attempt: int) -> None:
@@ -237,6 +245,34 @@ class RunLedger:
         """Volatile merge provenance (worker stats); readers that only
         care about job state ignore it."""
         self._append({"type": "merge", **record})
+
+    def heartbeat(
+        self,
+        done: int,
+        failed: int,
+        total: int,
+        job: Optional[str] = None,
+    ) -> None:
+        """Volatile liveness record for ``repro top``: wall-clock
+        timestamp, progress counters, and the label of the job being
+        started. Flushed but *not* fsynced — losing the last heartbeat
+        in a crash costs nothing, and long campaigns should not pay a
+        second fsync per job for telemetry.
+        """
+        record: Dict[str, object] = {
+            "type": "heartbeat",
+            "ts": round(time.time(), 3),
+            "done": int(done),
+            "failed": int(failed),
+            "total": int(total),
+        }
+        if self.worker is not None:
+            record["worker"] = self.worker
+        if job is not None:
+            record["job"] = job
+        with obs_profile.span("ledger_io"):
+            self._handle.write(encode_record(record) + "\n")
+            self._handle.flush()
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -307,7 +343,7 @@ def read_shard(
             if shard.worker is None:
                 shard.worker = record.get("worker")
             continue
-        if kind == "merge":
+        if kind in VOLATILE_TYPES:
             continue
         key = record.get("key")
         if not isinstance(key, str):

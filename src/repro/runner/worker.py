@@ -100,6 +100,7 @@ def _evaluate_fn(payload: dict) -> Callable[[], dict]:
             evaluate_schemes,
             gains_over,
         )
+        from repro.obs import profile as obs_profile
         from repro.runner.plan import JobSpec
         from repro.transmuter.machine import TransmuterModel
 
@@ -109,18 +110,26 @@ def _evaluate_fn(payload: dict) -> Callable[[], dict]:
             if spec.mode == "ee"
             else OptimizationMode.POWER_PERFORMANCE
         )
-        trace = build_trace(spec.kernel, spec.matrix, scale=spec.scale)
-        context = EvaluationContext(
-            trace=trace,
-            machine=TransmuterModel(bandwidth_gbps=spec.bandwidth_gbps),
-            mode=mode,
-            l1_type=spec.l1_type,
-            policy=default_policy_for(
-                "spmspm" if spec.kernel == "spmspm" else "spmspv"
-            ),
-        )
-        results = evaluate_schemes(context, spec.schemes)
-        gains = gains_over(results)
+        # One root frame per evaluate job, so every instrumented
+        # component below (trace building, schemes, kernel sim, ...)
+        # nests under it in the campaign flamegraph.
+        with obs_profile.span("evaluate_job"):
+            trace = build_trace(
+                spec.kernel, spec.matrix, scale=spec.scale
+            )
+            context = EvaluationContext(
+                trace=trace,
+                machine=TransmuterModel(
+                    bandwidth_gbps=spec.bandwidth_gbps
+                ),
+                mode=mode,
+                l1_type=spec.l1_type,
+                policy=default_policy_for(
+                    "spmspm" if spec.kernel == "spmspm" else "spmspv"
+                ),
+            )
+            results = evaluate_schemes(context, spec.schemes)
+            gains = gains_over(results)
         return {
             "n_epochs": int(trace.n_epochs),
             "schemes": {
@@ -220,14 +229,21 @@ def run_worker_shard(payload: dict) -> dict:
     """
     from repro import obs
     from repro.faults.spec import FaultSchedule
+    from repro.obs import profile as obs_profile
     from repro.runner.executor import CampaignInterrupted, SuiteRunner
     from repro.runner.ledger import RunLedger
     from repro.runner.supervisor import SupervisorConfig
 
     # A forked child inherits the parent's installed recorder and its
     # open sink handle; concurrent appends from N processes would
-    # interleave mid-record. Workers therefore run untraced.
+    # interleave mid-record. Workers therefore run untraced. The same
+    # goes for an inherited profiler (its tree would die with the
+    # fork): when the campaign is profiled, each worker runs a fresh
+    # profiler of its own and ships the span tree back in the summary
+    # for the parent to merge.
     obs.install(None)
+    profiler = obs_profile.Profiler() if payload.get("profile") else None
+    obs_profile.install(profiler)
 
     worker = int(payload["worker"])
     config = SupervisorConfig(**payload.get("config", {}))
@@ -267,4 +283,7 @@ def run_worker_shard(payload: dict) -> dict:
         summary["interrupted"] = True
         summary["completed"] = exc.completed
     summary["duration_s"] = round(time.perf_counter() - started, 6)
+    if profiler is not None:
+        profiler.stop()
+        summary["profile"] = profiler.as_dict()
     return summary

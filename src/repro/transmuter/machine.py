@@ -21,6 +21,7 @@ from typing import Optional
 from repro.errors import SimulationError
 from repro.obs import get_recorder
 from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
 from repro.transmuter import params
 from repro.transmuter.cache_model import LevelBehaviour, LevelInputs, model_level
 from repro.transmuter.config import HardwareConfig
@@ -272,6 +273,15 @@ class TransmuterModel:
         and its counters echo them. ``None`` (the default) is the
         healthy fast path and leaves the modeled numbers untouched.
         """
+        with obs_profile.span("kernel_sim"):
+            return self._simulate_epoch(workload, config, environment)
+
+    def _simulate_epoch(
+        self,
+        workload: EpochWorkload,
+        config: HardwareConfig,
+        environment: Optional[EpochEnvironment] = None,
+    ) -> EpochResult:
         memory = self.memory
         if environment is not None:
             config = environment.constrain(config)
@@ -291,8 +301,9 @@ class TransmuterModel:
         )
         instructions_per_gpe = instructions / self.n_gpes * imbalance
 
-        l1 = self._model_l1(workload, config)
-        l2 = self._model_l2(workload, config, l1.misses)
+        with obs_profile.span("cache_model"):
+            l1 = self._model_l1(workload, config)
+            l2 = self._model_l2(workload, config, l1.misses)
 
         # Crossbar layers: GPE->L1 within a tile, tile->L2 across tiles.
         xbar1 = model_crossbar(
@@ -346,16 +357,18 @@ class TransmuterModel:
         elapsed = _soft_roofline(core_time, memory_time)
         memory_io = memory.transfer(read_bytes, write_bytes, elapsed)
 
-        energy = self.power.epoch_energy(
-            config=config,
-            point=point,
-            elapsed_s=elapsed,
-            core_ops=instructions,
-            l1_accesses=workload.accesses + l1.prefetches_issued,
-            l2_accesses=l1.misses + l2.prefetches_issued,
-            xbar_transfers=xbar1.transfers * self.n_tiles + xbar2.transfers * self.n_tiles,
-            dram_bytes=read_bytes + write_bytes,
-        )
+        with obs_profile.span("power_model"):
+            energy = self.power.epoch_energy(
+                config=config,
+                point=point,
+                elapsed_s=elapsed,
+                core_ops=instructions,
+                l1_accesses=workload.accesses + l1.prefetches_issued,
+                l2_accesses=l1.misses + l2.prefetches_issued,
+                xbar_transfers=xbar1.transfers * self.n_tiles
+                + xbar2.transfers * self.n_tiles,
+                dram_bytes=read_bytes + write_bytes,
+            )
 
         counters = self._build_counters(
             workload=workload,

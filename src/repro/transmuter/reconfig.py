@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
+from repro.obs import profile as obs_profile
 from repro.transmuter import params
 from repro.transmuter.config import RUNTIME_PARAMETERS, HardwareConfig
 from repro.transmuter.dvfs import operating_point
@@ -164,6 +165,21 @@ def reconfiguration_cost(
     everything-is-dirty assumption applies to the full provisioned
     capacity.
     """
+    with obs_profile.span("reconfig"):
+        return _reconfiguration_cost(
+            old, new, power, bandwidth_gbps, dirty_bytes_hint,
+            allow_memory_mode,
+        )
+
+
+def _reconfiguration_cost(
+    old: HardwareConfig,
+    new: HardwareConfig,
+    power: PowerModel,
+    bandwidth_gbps: float,
+    dirty_bytes_hint: Optional[float],
+    allow_memory_mode: bool,
+) -> ReconfigCost:
     changed = changed_parameters(old, new, allow_memory_mode)
     if not changed:
         return ReconfigCost(0.0, 0.0, False, False, ())

@@ -521,3 +521,96 @@ class TestRunFaultArguments:
         }
         assert "fault.injected" in names
         assert "controller.start" in names
+
+
+class TestProfilingAndDeadlineCli:
+    RUN = ["run", "--kernel", "spmspv", "--matrix", "P1", "--scale", "0.15"]
+
+    def test_new_flags_and_verbs_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(self.RUN + ["--profile", "--deadline", "30"])
+        assert args.profile is True
+        assert args.deadline == 30.0
+        args = parser.parse_args(["top", "ledger.jsonl", "--once"])
+        assert args.once is True
+        assert args.straggler_threshold == 30.0
+        args = parser.parse_args(["profile-report", "p.json", "--collapsed"])
+        assert args.collapsed is True
+
+    def test_run_output_identical_under_generous_deadline(self, capsys):
+        assert main(self.RUN) == 0
+        plain = capsys.readouterr().out
+        assert main(self.RUN + ["--deadline", "600"]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_run_tiny_deadline_is_one_line_error(self, capsys):
+        # The watchdog can only observe the worker between GIL slices,
+        # so a warm-cache evaluation that fits in one slice can beat
+        # even a microsecond deadline. A larger scale guarantees the
+        # evaluation spans many slices and the deadline always fires.
+        args = [a if a != "0.15" else "0.8" for a in self.RUN]
+        assert main(args + ["--deadline", "1e-6"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "deadline" in captured.err
+
+    def test_run_profile_report_and_saved_profile(self, tmp_path, capsys):
+        profile_path = tmp_path / "run.profile.json"
+        assert (
+            main(
+                self.RUN
+                + ["--profile", "--profile-out", str(profile_path)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "of wall-clock" in out
+        assert "kernel_sim" in out
+        data = json.loads(profile_path.read_text())
+        assert data["schema"] == 1
+        assert data["wall_s"] > 0
+
+        assert main(["profile-report", str(profile_path)]) == 0
+        assert "span tree" in capsys.readouterr().out
+        assert main(["profile-report", str(profile_path), "--collapsed"]) == 0
+        collapsed = capsys.readouterr().out
+        assert any(
+            ";" in line for line in collapsed.splitlines()
+        )  # nested frames present
+
+    def test_profile_report_missing_file(self, capsys):
+        assert main(["profile-report", "/nonexistent.profile.json"]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_run_json_profile_keeps_stdout_parseable(self, capsys):
+        assert main(self.RUN + ["--profile", "--json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # profile report went to stderr
+        assert payload["kernel"] == "spmspv"
+        assert "of wall-clock" in captured.err
+
+    def test_suite_run_metrics_out(self, tmp_path, capsys):
+        plan = {
+            "name": "cli-metrics",
+            "defaults": {"scale": 0.15, "schemes": ["Baseline", "Best Avg"]},
+            "jobs": [{"kernel": "spmspv", "matrix": "P1"}],
+        }
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps(plan))
+        metrics_path = tmp_path / "campaign.om"
+        ledger_path = tmp_path / "ledger.jsonl"
+        assert (
+            main(
+                [
+                    "suite-run", str(plan_path),
+                    "--ledger", str(ledger_path),
+                    "--metrics-out", str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"metrics written to {metrics_path}" in out
+        text = metrics_path.read_text()
+        assert text.endswith("# EOF\n")
+        assert "campaign_jobs_total 1" in text

@@ -209,6 +209,15 @@ class TestTraceReportPipeline:
         assert "host decision latency" in rendered
         assert "most expensive epochs" in rendered
 
+    def test_empty_trace_quantiles_render_nan(self):
+        # A trace with no decision events still renders the latency
+        # quantile line — with NaN spelled out, not a crash or a
+        # silently missing row.
+        rendered = report.render(report.summarize([]))
+        assert "host decision latency (0 decisions)" in rendered
+        assert "p50/p90/p99 (bucket-estimated): NaN / NaN / NaN us" in rendered
+        assert "(no samples)" in rendered
+
     def test_harness_spans_present(self, tmp_path):
         from repro.experiments.harness import build_trace
 

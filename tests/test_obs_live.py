@@ -1,0 +1,526 @@
+"""Tests for live campaign telemetry (repro.obs.live + heartbeats).
+
+Heartbeat records are volatile by contract: every results reader
+(resume, shard merge, byte-parity) must ignore them, while ``repro
+top`` builds its whole live view out of them. Covers the ledger
+round-trip, torn-heartbeat tolerance, the EWMA rate math, crafted-shard
+aggregation with straggler/dead flags, the rendered view, the
+OpenMetrics export, and a real slow-worker campaign observed mid-run.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.obs import live
+from repro.obs.metrics import MetricsRegistry
+from repro.runner import (
+    PortableJob,
+    RunLedger,
+    SuiteRunner,
+    SupervisorConfig,
+    shard_path,
+)
+from repro.runner.ledger import (
+    LEDGER_VERSION,
+    VOLATILE_TYPES,
+    merge_shards,
+    read_ledger_records,
+    read_shard,
+)
+
+FAST = SupervisorConfig(max_retries=0, backoff_base_s=0.0)
+
+
+def _sleep_job(index, seconds=0.0):
+    return PortableJob(
+        kind="sleep",
+        key=f"s{index:02d}",
+        label=f"sleep/{index}",
+        index=index,
+        payload={"seconds": seconds, "value": index},
+    )
+
+
+def _write_ledger(path, records):
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+def _header(plan_key="live", worker=None, plan_name="live-plan"):
+    record = {
+        "type": "header",
+        "version": LEDGER_VERSION,
+        "plan_name": plan_name,
+        "plan_key": plan_key,
+    }
+    if worker is not None:
+        record["worker"] = worker
+    return record
+
+
+def _beat(ts, done, failed=0, total=4, worker=None, job=None):
+    record = {
+        "type": "heartbeat",
+        "ts": ts,
+        "done": done,
+        "failed": failed,
+        "total": total,
+    }
+    if worker is not None:
+        record["worker"] = worker
+    if job is not None:
+        record["job"] = job
+    return record
+
+
+class TestHeartbeatLedgerContract:
+    def test_serial_runner_emits_heartbeats(self, tmp_path):
+        path = tmp_path / "hb.jsonl"
+        ledger = RunLedger(path, plan_key="hb")
+        runner = SuiteRunner(config=FAST, ledger=ledger)
+        runner.run([_build(j) for j in [_sleep_job(0), _sleep_job(1)]])
+        records, skipped = read_ledger_records(path)
+        assert skipped == 0
+        beats = [r for r in records if r["type"] == "heartbeat"]
+        # One per job start plus the final completion beat.
+        assert len(beats) == 3
+        assert beats[0]["done"] == 0 and beats[0]["job"] == "sleep/0"
+        assert beats[-1]["done"] == 2
+        assert beats[-1]["failed"] == 0
+        assert beats[-1]["total"] == 2
+        for beat in beats:
+            assert isinstance(beat["ts"], float)
+
+    def test_resume_ignores_heartbeats(self, tmp_path):
+        path = tmp_path / "resume.jsonl"
+        ledger = RunLedger(path, plan_key="rs")
+        ledger.heartbeat(done=0, failed=0, total=2, job="sleep/0")
+        ledger.job_done("s00", {"status": "ok", "key": "s00"})
+        ledger.heartbeat(done=1, failed=0, total=2)
+        ledger.close()
+        resumed = RunLedger(path, plan_key="rs", resume=True)
+        assert set(resumed.completed) == {"s00"}
+        assert resumed.in_flight == []
+        assert resumed.n_skipped == 0
+        resumed.close()
+
+    def test_read_shard_skips_heartbeats_without_counting_torn(
+        self, tmp_path
+    ):
+        shard = tmp_path / "s.jsonl.w0"
+        _write_ledger(
+            shard,
+            [
+                _header(worker=0),
+                _beat(1.0, 0, worker=0, job="sleep/0"),
+                {
+                    "type": "done",
+                    "key": "s00",
+                    "row": {"status": "ok", "key": "s00"},
+                },
+                _beat(2.0, 1, worker=0),
+            ],
+        )
+        data = read_shard(shard, plan_key="live")
+        assert data is not None
+        # Heartbeats are volatile: not merged, not counted as torn.
+        assert data.n_skipped == 0
+        assert set(data.by_key) == {"s00"}
+
+    def test_merge_drops_heartbeats(self, tmp_path):
+        base = tmp_path / "merge.jsonl"
+        ledger = RunLedger(base, plan_key="mg")
+        shard = shard_path(base, 0)
+        _write_ledger(
+            shard,
+            [
+                _header(plan_key="mg", worker=0),
+                _beat(1.0, 0, worker=0),
+                {
+                    "type": "done",
+                    "key": "s00",
+                    "row": {"status": "ok", "key": "s00"},
+                },
+            ],
+        )
+        data = read_shard(shard, plan_key="mg")
+        merge_shards(ledger, [data], key_order=["s00"])
+        ledger.close()
+        records, _ = read_ledger_records(base)
+        kinds = [r["type"] for r in records]
+        assert "heartbeat" not in kinds
+        assert "done" in kinds
+
+    def test_torn_heartbeat_costs_nothing(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        _write_ledger(
+            path,
+            [
+                _header(plan_key="tn"),
+                {
+                    "type": "done",
+                    "key": "s00",
+                    "row": {"status": "ok", "key": "s00"},
+                },
+            ],
+        )
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "heartbeat", "ts": 12.5, "do')  # torn
+        ledger = RunLedger(path, plan_key="tn", resume=True)
+        assert set(ledger.completed) == {"s00"}
+        ledger.close()
+        status = live.read_live(path, now=100.0)
+        assert status.done == 1
+
+    def test_volatile_types_contract(self):
+        assert "heartbeat" in VOLATILE_TYPES
+        assert "merge" in VOLATILE_TYPES
+
+
+def _build(portable):
+    from repro.runner import build_job
+
+    return build_job(portable)
+
+
+class TestEwmaRate:
+    def test_empty_and_single_sample(self):
+        assert live.ewma_rate([]) == 0.0
+        assert live.ewma_rate([(1.0, 1)]) == 0.0
+
+    def test_constant_rate(self):
+        samples = [(float(t), t) for t in range(6)]  # 1 job/s
+        assert live.ewma_rate(samples) == pytest.approx(1.0)
+
+    def test_stall_decays_toward_zero(self):
+        burst = [(0.0, 0), (1.0, 2), (2.0, 4)]  # 2 job/s
+        stalled = burst + [(3.0, 4), (4.0, 4), (5.0, 4)]
+        assert live.ewma_rate(stalled) < live.ewma_rate(burst) / 2
+
+    def test_non_monotonic_time_ignored(self):
+        samples = [(2.0, 2), (1.0, 5), (3.0, 3)]
+        assert live.ewma_rate(samples) >= 0.0
+
+
+class TestReadLive:
+    def test_missing_ledger_raises_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="no ledger"):
+            live.read_live(tmp_path / "absent.jsonl")
+
+    def test_headerless_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        _write_ledger(path, [_beat(1.0, 0)])
+        with pytest.raises(ConfigError, match="missing header"):
+            live.read_live(path)
+
+    def _campaign(self, tmp_path, w1_last_beat_age=1.0, now=1000.0):
+        base = tmp_path / "led.jsonl"
+        _write_ledger(base, [_header()])
+        _write_ledger(
+            shard_path(base, 0),
+            [
+                _header(worker=0),
+                _beat(now - 30.0, 0, total=4, worker=0, job="a"),
+                _beat(now - 20.0, 1, total=4, worker=0, job="b"),
+                _beat(now - 10.0, 2, total=4, worker=0, job="c"),
+                _beat(now - 1.0, 3, total=4, worker=0, job="d"),
+            ],
+        )
+        _write_ledger(
+            shard_path(base, 1),
+            [
+                _header(worker=1),
+                _beat(now - 120.0, 0, total=4, worker=1, job="x"),
+                _beat(
+                    now - w1_last_beat_age, 1, total=4, worker=1, job="y"
+                ),
+            ],
+        )
+        return base, now
+
+    def test_aggregation_and_straggler_flags(self, tmp_path):
+        base, now = self._campaign(tmp_path, w1_last_beat_age=45.0)
+        status = live.read_live(base, now=now, straggler_after_s=30.0)
+        assert status.total == 8
+        assert status.done == 4  # 3 + 1
+        assert status.remaining == 4
+        by_label = {w.label: w for w in status.workers}
+        assert not by_label["w0"].straggler
+        assert by_label["w1"].straggler and not by_label["w1"].dead
+        assert status.stragglers == [by_label["w1"]]
+        # Only w0 still earns throughput credit; ETA follows from it.
+        assert status.throughput_jobs_s == pytest.approx(
+            by_label["w0"].rate_jobs_s + by_label["w1"].rate_jobs_s
+        )
+        assert status.eta_s == pytest.approx(
+            status.remaining / status.throughput_jobs_s
+        )
+
+    def test_dead_worker_excluded_from_throughput(self, tmp_path):
+        base, now = self._campaign(tmp_path, w1_last_beat_age=130.0)
+        status = live.read_live(base, now=now, straggler_after_s=30.0)
+        by_label = {w.label: w for w in status.workers}
+        assert by_label["w1"].dead
+        assert status.throughput_jobs_s == pytest.approx(
+            by_label["w0"].rate_jobs_s
+        )
+
+    def test_shard_terminal_rows_trusted_over_stale_beats(self, tmp_path):
+        base = tmp_path / "led.jsonl"
+        _write_ledger(base, [_header()])
+        _write_ledger(
+            shard_path(base, 0),
+            [
+                _header(worker=0),
+                _beat(10.0, 0, total=2, worker=0),
+                {
+                    "type": "done",
+                    "key": "a",
+                    "row": {"status": "ok", "key": "a"},
+                },
+                {
+                    "type": "quarantined",
+                    "key": "b",
+                    "row": {
+                        "status": "quarantined",
+                        "key": "b",
+                        "failure": {"kind": "oom", "error": "boom"},
+                    },
+                },
+            ],
+        )
+        status = live.read_live(base, now=20.0)
+        assert status.done == 1
+        assert status.failed == 1
+        assert status.quarantined == {"oom": 1}
+
+    def test_foreign_plan_shards_skipped(self, tmp_path):
+        base = tmp_path / "led.jsonl"
+        _write_ledger(base, [_header(plan_key="mine")])
+        _write_ledger(
+            shard_path(base, 0),
+            [
+                _header(plan_key="other", worker=0),
+                _beat(1.0, 3, total=3, worker=0),
+            ],
+        )
+        status = live.read_live(base, now=10.0)
+        assert status.workers == []
+        assert status.done == 0
+
+    def test_serial_heartbeats_drive_totals(self, tmp_path):
+        path = tmp_path / "serial.jsonl"
+        _write_ledger(
+            path,
+            [
+                _header(),
+                _beat(1.0, 0, total=3, job="a"),
+                {
+                    "type": "done",
+                    "key": "a",
+                    "row": {"status": "ok", "key": "a"},
+                },
+                _beat(2.0, 1, total=3, job="b"),
+            ],
+        )
+        status = live.read_live(path, now=3.0)
+        assert status.total == 3
+        assert status.done == 1
+        assert [w.label for w in status.workers] == ["serial"]
+
+    def test_complete_campaign_eta_zero(self, tmp_path):
+        path = tmp_path / "done.jsonl"
+        _write_ledger(
+            path,
+            [
+                _header(),
+                _beat(1.0, 2, total=2),
+            ],
+        )
+        status = live.read_live(path, now=5.0)
+        assert status.complete
+        assert status.eta_s == 0.0
+
+    def test_unknown_rate_gives_nan_eta(self, tmp_path):
+        path = tmp_path / "fresh.jsonl"
+        _write_ledger(path, [_header(), _beat(1.0, 0, total=5)])
+        status = live.read_live(path, now=2.0)
+        assert status.remaining == 5
+        assert status.eta_s != status.eta_s  # NaN
+
+
+class TestRendering:
+    def test_render_top_flags_and_progress(self, tmp_path):
+        base = tmp_path / "led.jsonl"
+        _write_ledger(base, [_header()])
+        now = 1000.0
+        _write_ledger(
+            shard_path(base, 0),
+            [
+                _header(worker=0),
+                _beat(now - 10, 1, total=2, worker=0, job="slow-one"),
+            ],
+        )
+        _write_ledger(
+            shard_path(base, 1),
+            [
+                _header(worker=1),
+                _beat(now - 200, 0, total=2, worker=1),
+            ],
+        )
+        status = live.read_live(base, now=now, straggler_after_s=30.0)
+        text = live.render_top(status)
+        assert "live-plan" in text
+        assert "1/4 jobs" in text
+        assert "[slow-one]" in text
+        assert "DEAD" in text  # w1: 200s > 4 * 30s
+        assert "w0" in text and "w1" in text
+
+    def test_render_complete_campaign(self, tmp_path):
+        path = tmp_path / "done.jsonl"
+        _write_ledger(
+            path,
+            [
+                _header(),
+                {
+                    "type": "done",
+                    "key": "a",
+                    "row": {"status": "ok", "key": "a"},
+                },
+            ],
+        )
+        status = live.read_live(path, now=5.0)
+        text = live.render_top(status)
+        assert "ETA done" in text
+        assert "campaign complete" in text
+
+    def test_as_dict_round_trips_to_json(self, tmp_path):
+        path = tmp_path / "d.jsonl"
+        _write_ledger(path, [_header(), _beat(1.0, 1, total=2)])
+        status = live.read_live(path, now=2.0)
+        payload = json.loads(
+            json.dumps(status.as_dict()).replace("NaN", "null")
+        )
+        assert payload["plan_name"] == "live-plan"
+
+
+class TestMetricsExport:
+    def test_export_campaign_metrics_openmetrics(self, tmp_path):
+        base = tmp_path / "led.jsonl"
+        _write_ledger(base, [_header()])
+        _write_ledger(
+            shard_path(base, 0),
+            [
+                _header(worker=0),
+                _beat(1.0, 1, total=2, worker=0),
+                _beat(2.0, 2, total=2, worker=0),
+            ],
+        )
+        status = live.read_live(base, now=3.0)
+        registry = live.export_campaign_metrics(status, MetricsRegistry())
+        text = registry.render_openmetrics()
+        assert text.endswith("# EOF\n")
+        assert "campaign_jobs_total 2" in text
+        assert "campaign_jobs_done 2" in text
+        assert 'campaign_worker_done{worker="w0"} 2' in text
+        assert "campaign_eta_s 0" in text
+
+
+class TestTopCli:
+    def test_top_once_flags_straggler(self, tmp_path, capsys):
+        base = tmp_path / "led.jsonl"
+        _write_ledger(base, [_header()])
+        now = time.time()
+        _write_ledger(
+            shard_path(base, 0),
+            [
+                _header(worker=0),
+                _beat(round(now - 2.0, 3), 1, total=2, worker=0),
+            ],
+        )
+        _write_ledger(
+            shard_path(base, 1),
+            [
+                _header(worker=1),
+                _beat(round(now - 120.0, 3), 0, total=2, worker=1),
+            ],
+        )
+        assert main(["top", str(base), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "STRAGGLER" in out or "DEAD" in out
+        assert "w0" in out
+
+    def test_top_json_and_metrics_out(self, tmp_path, capsys):
+        base = tmp_path / "led.jsonl"
+        _write_ledger(
+            base, [_header(), _beat(1.0, 1, total=1, job="only")]
+        )
+        metrics_path = tmp_path / "m.txt"
+        assert (
+            main(
+                [
+                    "top",
+                    str(base),
+                    "--json",
+                    "--metrics-out",
+                    str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["complete"] is True
+        assert metrics_path.read_text().endswith("# EOF\n")
+
+    def test_top_missing_ledger_errors(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path / "nope.jsonl"), "--once"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSlowWorkerIntegration:
+    def test_live_view_of_running_campaign(self, tmp_path):
+        """Watch a real 2-worker campaign mid-run: the worker stuck in
+        a slow job ages past a tight straggler threshold while the
+        campaign is still incomplete."""
+        base = tmp_path / "slow.jsonl"
+        jobs = [_sleep_job(0, seconds=6.0)] + [
+            _sleep_job(i) for i in range(1, 4)
+        ]
+        ledger = RunLedger(base, plan_key="slow")
+        runner = SuiteRunner(config=FAST, ledger=ledger, workers=2)
+        result = {}
+
+        def campaign():
+            result["report"] = runner.run_portable(jobs, plan_key="slow")
+
+        thread = threading.Thread(target=campaign)
+        thread.start()
+        try:
+            flagged = False
+            deadline = time.time() + 20.0
+            while time.time() < deadline:
+                try:
+                    status = live.read_live(base, straggler_after_s=0.5)
+                except ConfigError:
+                    time.sleep(0.2)
+                    continue
+                slow = [
+                    w
+                    for w in status.workers
+                    if w.straggler and not w.finished
+                ]
+                if slow and not status.complete:
+                    flagged = True
+                    break
+                time.sleep(0.2)
+        finally:
+            thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert flagged, "straggler never flagged during the slow job"
+        assert result["report"].counts() == {"ok": 4, "failed": 0}

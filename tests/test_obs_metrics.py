@@ -217,6 +217,89 @@ class TestRender:
         assert registry.render() == ""
 
 
+class TestRenderDeterminism:
+    @staticmethod
+    def _populate(registry, order):
+        """Create the same metrics/series, honouring ``order``."""
+        for step in order:
+            if step == "z":
+                registry.counter("z.last", "zed").inc(3)
+            elif step == "a":
+                registry.gauge("a.first", "ay").set(1.0)
+            elif step == "mid-b":
+                registry.counter("m.mid").labels(worker="w1", job="b").inc(2)
+            elif step == "mid-a":
+                registry.counter("m.mid").labels(job="a", worker="w0").inc(1)
+
+    def test_insertion_order_does_not_change_output(self):
+        forward = MetricsRegistry()
+        self._populate(forward, ["a", "mid-a", "mid-b", "z"])
+        backward = MetricsRegistry()
+        self._populate(backward, ["z", "mid-b", "mid-a", "a"])
+        assert forward.render() == backward.render()
+        assert forward.render_openmetrics() == backward.render_openmetrics()
+
+    def test_metrics_sorted_by_name(self, registry):
+        registry.counter("z.last").inc()
+        registry.counter("a.first").inc()
+        text = registry.render()
+        assert text.index("a_first") < text.index("z_last")
+
+    def test_series_sorted_by_label_pairs(self, registry):
+        counter = registry.counter("c")
+        counter.labels(worker="w1").inc()
+        counter.labels(worker="w0").inc()
+        text = registry.render()
+        assert text.index('worker="w0"') < text.index('worker="w1"')
+
+
+class TestOpenMetrics:
+    def test_counter_samples_get_total_suffix(self, registry):
+        registry.counter("jobs.done").inc(4)
+        text = registry.render_openmetrics()
+        assert "# TYPE jobs_done counter" in text
+        assert "jobs_done_total 4" in text
+
+    def test_gauge_samples_keep_bare_name(self, registry):
+        registry.gauge("eta").set(2.5)
+        assert "eta 2.5" in registry.render_openmetrics()
+
+    def test_type_line_precedes_help_line(self, registry):
+        registry.counter("c", "counts things").inc()
+        text = registry.render_openmetrics()
+        assert text.index("# TYPE c counter") < text.index(
+            "# HELP c counts things"
+        )
+
+    def test_nan_gauge_renders_literal_nan(self, registry):
+        registry.gauge("eta").set(float("nan"))
+        assert "eta NaN" in registry.render_openmetrics()
+
+    def test_histogram_samples_present(self, registry):
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        text = registry.render_openmetrics()
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_sum 0.5" in text
+        assert "lat_count 1" in text
+
+    def test_ends_with_eof_terminator(self, registry):
+        assert registry.render_openmetrics() == "# EOF\n"
+        registry.counter("c").inc()
+        assert registry.render_openmetrics().endswith("# EOF\n")
+
+    def test_module_level_render_openmetrics(self):
+        from repro.obs import metrics
+
+        metrics.counter("test.only.om").inc(2)
+        try:
+            text = metrics.render_openmetrics()
+            assert "test_only_om_total 2" in text
+            assert text.endswith("# EOF\n")
+        finally:
+            metrics.reset()
+
+
 class TestReset:
     def test_reset_forgets_metrics(self, registry):
         registry.counter("c").inc()

@@ -35,6 +35,7 @@ from repro.runner import (
     table5_plan,
 )
 from repro.runner.ledger import (
+    VOLATILE_TYPES,
     list_shards,
     merge_shards,
     read_ledger_records,
@@ -96,7 +97,7 @@ def _stable_ledger_lines(path):
     return [
         json.dumps(strip(record), sort_keys=True)
         for record in records
-        if record.get("type") != "merge"
+        if record.get("type") not in VOLATILE_TYPES
     ]
 
 
