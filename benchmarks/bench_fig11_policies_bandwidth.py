@@ -7,11 +7,21 @@ Baseline when memory-bound and shrink toward ~1.1x over Best Avg at
 the compute-bound end.
 """
 
+import pathlib
+from dataclasses import replace
+
 from benchmarks.conftest import run_once
 from repro.experiments import figures
 from repro.experiments.reporting import format_gain_table
 
 TOLERANCES = (0.1, 0.2, 0.4, 0.7, 0.9)
+
+SPEC_PATH = (
+    pathlib.Path(__file__).parent.parent
+    / "experiments"
+    / "specs"
+    / "policies_vs_baselines.json"
+)
 
 
 def test_fig11_policy_sweep(benchmark, emit):
@@ -42,6 +52,72 @@ def test_fig11_policy_sweep(benchmark, emit):
         )
         assert best_hybrid >= rows["conservative"]["efficiency_gain"] * 0.98
         assert best_hybrid >= rows["aggressive"]["efficiency_gain"] * 0.98
+
+
+def test_fig11_policy_spec_parity(benchmark, emit, tmp_path):
+    """The shipped declarative spec reproduces the legacy driver exactly.
+
+    ``experiments/specs/policies_vs_baselines.json`` compiled through
+    the suite runner must yield, per (matrix, policy), the *same
+    floats* the hand-written :func:`figure11_policy_sweep` driver
+    computes — same trace cache, same trained model, same policy
+    objects — so the declarative path is a drop-in replacement for
+    the figure, not an approximation of it.
+    """
+    from repro.experiments.spec import compile_plan, load_spec
+    from repro.obs.compare import (
+        build_comparison,
+        ledger_terminal_rows,
+        render_comparison,
+        scrape_rows,
+    )
+    from repro.runner import run_plan
+
+    spec = load_spec(SPEC_PATH)
+    # Same economical scale as the legacy sweep above; the shipped
+    # spec defaults to the paper's 0.25.
+    spec = replace(
+        spec,
+        workloads=tuple(
+            replace(workload, scale=0.15) for workload in spec.workloads
+        ),
+    )
+    plan = compile_plan(spec)
+    ledger = tmp_path / "policies.jsonl"
+
+    run_once(benchmark, run_plan, plan=plan, ledger_path=str(ledger))
+
+    _, rows = ledger_terminal_rows(ledger)
+    samples = scrape_rows(rows, spec.metrics)
+    comparison = build_comparison(
+        samples,
+        spec.metrics,
+        baseline=spec.baseline,
+        candidates=spec.candidate_names(),
+        workloads=spec.workload_names(),
+        name=spec.name,
+    )
+    emit(render_comparison(comparison))
+
+    legacy = figures.figure11_policy_sweep(
+        matrix_ids=tuple(spec.workload_names()),
+        tolerances=TOLERANCES,
+        scale=0.15,
+    )
+    aliases = {"conservative": "conservative", "aggressive": "aggressive"}
+    for tolerance in TOLERANCES:
+        aliases[f"hybrid-{int(tolerance * 100)}"] = (
+            f"hybrid-{int(tolerance * 100)}%"
+        )
+    for matrix_id, legacy_rows in legacy.items():
+        for candidate, legacy_name in aliases.items():
+            for metric in ("perf_gain", "efficiency_gain"):
+                ours = comparison["cells"][metric][matrix_id][candidate]
+                theirs = legacy_rows[legacy_name][metric]
+                assert ours == theirs, (
+                    f"{candidate} on {matrix_id}: spec path {metric} "
+                    f"{ours!r} != legacy driver {theirs!r}"
+                )
 
 
 def test_fig11_bandwidth_sweep(benchmark, emit):

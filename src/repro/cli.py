@@ -28,7 +28,15 @@ Commands
 ``diff``
     Align two recorded traces epoch-by-epoch: first-divergence epoch,
     per-parameter divergence timeline, counter deltas at divergence,
-    and a whole-run metric regression summary.
+    and a whole-run metric regression summary. Exits 3 when the traces
+    diverge (0 when identical), so scripts can assert reproducibility.
+``compare``
+    Render a multi-candidate comparison from a declarative experiment
+    spec and the ledger ``suite-run --spec`` produced (or from legacy
+    campaign ledgers): per-workload metric tables, win/loss matrix,
+    geomean deltas vs the baseline candidate, per-candidate health,
+    regression gates (violations exit 3), optional SVG figures and a
+    first-divergence drill-down between two adaptive candidates.
 ``faults``
     Run a fault-injection campaign from a schedule spec file (or the
     built-in ``--mixed`` schedule) and print the degradation table:
@@ -39,7 +47,9 @@ Commands
     Table-5 plan): per-job deadlines, bounded retries, quarantine for
     poisoned inputs, and a durable run ledger that makes the campaign
     resumable with ``--resume``. ``--workers N`` shards the pending
-    jobs across N processes with byte-identical results.
+    jobs across N processes with byte-identical results. ``--spec``
+    compiles a declarative experiment spec (see ``docs/experiments.md``)
+    into the plan instead, for ``repro compare`` afterwards.
 ``suite-report``
     Summarize a past campaign's run ledger without re-running it (job
     counts, retries, quarantine taxonomy, per-worker timing), or diff
@@ -61,9 +71,13 @@ wall-clock attribution report (see ``docs/profiling.md``).
 
 Every library failure (bad arguments, malformed spec files, unknown
 fault kinds, ...) exits 1 with a one-line ``error: ...`` on stderr —
-never a traceback. Ctrl-C flushes open trace sinks, prints a one-line
-``interrupted: ...`` (with a resume hint when a ledger was active),
-and exits 130.
+never a traceback. The comparison verbs share one exit-code contract:
+``diff``, ``explain --against``, ``suite-report --diff`` and
+``compare`` exit 0 when the inputs agree (all gates pass), 3 when they
+diverge or a gate is violated, with a one-line summary on stderr (see
+``docs/observability.md``). Ctrl-C flushes open trace sinks, prints a
+one-line ``interrupted: ...`` (with a resume hint when a ledger was
+active), and exits 130.
 """
 
 from __future__ import annotations
@@ -291,6 +305,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the counter values the model read",
     )
+    explain.add_argument(
+        "--against",
+        metavar="OTHER",
+        default=None,
+        help="second trace: explain both runs' decisions at their "
+        "first divergence epoch instead (exits 3 when they diverge, "
+        "0 when identical)",
+    )
 
     diff = commands.add_parser(
         "diff", help="compare two recorded traces epoch-by-epoch"
@@ -307,6 +329,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the structured diff as JSON instead of the report",
+    )
+
+    compare = commands.add_parser(
+        "compare",
+        help="compare candidates side-by-side from a spec's ledger "
+        "(or legacy campaign ledgers)",
+    )
+    compare.add_argument(
+        "target",
+        help="experiment spec file (JSON/TOML), or a run ledger",
+    )
+    compare.add_argument(
+        "ledgers",
+        nargs="*",
+        help="run ledger(s): exactly one when TARGET is a spec; "
+        "optional extra ledgers when TARGET is itself a ledger",
+    )
+    compare.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline candidate for geomeans and gates "
+        "(default: the spec's baseline, or the first candidate)",
+    )
+    compare.add_argument(
+        "--metrics",
+        default=None,
+        help="comma-separated metric override "
+        "(default: the spec's metric list)",
+    )
+    compare.add_argument(
+        "--no-gates",
+        action="store_true",
+        help="skip the spec's regression gates (never exit 3)",
+    )
+    compare.add_argument(
+        "--drill-down",
+        metavar="CANDIDATE@WORKLOAD",
+        default=None,
+        help="re-run this candidate against the baseline on one "
+        "workload with tracing and print the first-divergence trace "
+        "diff (spec targets only; both must be adaptive)",
+    )
+    compare.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed of the --drill-down re-runs",
+    )
+    compare.add_argument(
+        "--timeline-rows",
+        type=int,
+        default=24,
+        help="max --drill-down divergence-timeline rows",
+    )
+    compare.add_argument(
+        "--svg-dir",
+        help="write one self-contained grouped-bar SVG per metric "
+        "into this directory",
+    )
+    compare.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the comparison (and gate results) as JSON",
+    )
+    compare.add_argument(
+        "--out",
+        help="also write the comparison JSON to this path (atomically)",
     )
 
     faults = commands.add_parser(
@@ -376,6 +465,12 @@ def build_parser() -> argparse.ArgumentParser:
         "plan",
         nargs="?",
         help="campaign plan JSON file (omit for the built-in Table-5 plan)",
+    )
+    suite_run.add_argument(
+        "--spec",
+        help="experiment spec file (JSON/TOML) to compile into the "
+        "campaign plan (mutually exclusive with a plan file); "
+        "inspect the results with `repro compare SPEC LEDGER`",
     )
     suite_run.add_argument(
         "--scale",
@@ -921,6 +1016,137 @@ def _command_trace(args) -> int:
     return 0
 
 
+def _command_compare(args) -> int:
+    from repro.errors import ConfigError
+    from repro.experiments.spec import load_spec, looks_like_spec
+    from repro.obs import compare as obs_compare
+    from repro.obs.sinks import write_atomic
+
+    spec = None
+    if looks_like_spec(args.target):
+        spec = load_spec(args.target)
+        if len(args.ledgers) != 1:
+            raise ConfigError(
+                "a spec target needs exactly one ledger: "
+                "repro compare SPEC LEDGER (run the spec first with "
+                f"`repro suite-run --spec {args.target} --ledger ...`)"
+            )
+        ledger_paths = list(args.ledgers)
+    else:
+        ledger_paths = [args.target, *args.ledgers]
+
+    if args.metrics is not None:
+        metrics = tuple(
+            token.strip()
+            for token in args.metrics.split(",")
+            if token.strip()
+        )
+        if not metrics:
+            raise ConfigError("--metrics must name at least one metric")
+    elif spec is not None:
+        metrics = spec.metrics
+    else:
+        from repro.experiments.spec import DEFAULT_METRICS
+
+        metrics = DEFAULT_METRICS
+
+    rows: list = []
+    header: dict = {}
+    for path in ledger_paths:
+        header, terminal = obs_compare.ledger_terminal_rows(path)
+        if spec is not None:
+            from repro.experiments.spec import compile_plan
+
+            expected = compile_plan(spec).key()
+            if header.get("plan_key") != expected:
+                raise ConfigError(
+                    f"ledger {path} was not produced by this spec "
+                    f"(plan key {header.get('plan_key')!r}, spec "
+                    f"compiles to {expected!r}); re-run with "
+                    f"`repro suite-run --spec {args.target} "
+                    f"--ledger {path}`"
+                )
+        rows.extend(terminal)
+
+    samples = obs_compare.scrape_rows(rows, metrics)
+    comparison = obs_compare.build_comparison(
+        samples,
+        metrics,
+        baseline=args.baseline
+        or (spec.baseline if spec is not None else None),
+        candidates=spec.candidate_names() if spec is not None else None,
+        workloads=spec.workload_names() if spec is not None else None,
+        name=(
+            spec.name
+            if spec is not None
+            # Legacy ledgers: the plan name, never the ledger path —
+            # reports must not vary with where the ledger lives.
+            else str(header.get("plan_name") or "comparison")
+        ),
+    )
+    gate_results = None
+    if spec is not None and not args.no_gates:
+        gate_results = obs_compare.evaluate_gates(comparison, spec.gates)
+
+    drill = None
+    if args.drill_down is not None:
+        if spec is None:
+            raise ConfigError(
+                "--drill-down re-runs candidates from a spec; the "
+                "target must be a spec file, not a ledger"
+            )
+        candidate, separator, workload = args.drill_down.partition("@")
+        if not separator or not candidate or not workload:
+            raise ConfigError(
+                "--drill-down takes CANDIDATE@WORKLOAD, got "
+                f"{args.drill_down!r}"
+            )
+        drill = obs_compare.drill_down(
+            spec,
+            candidate,
+            workload,
+            seed=args.seed,
+            reference=args.baseline,
+        )
+
+    payload = {"comparison": comparison, "gates": gate_results}
+    if drill is not None:
+        payload["drill_down"] = drill
+    if args.out:
+        write_atomic(
+            args.out,
+            json.dumps(_to_jsonable(payload), indent=2, sort_keys=True)
+            + "\n",
+        )
+    if args.json:
+        print(json.dumps(_to_jsonable(payload), indent=2, sort_keys=True))
+    else:
+        print(obs_compare.render_comparison(comparison, gate_results))
+        if drill is not None:
+            from repro.obs.diff import render_diff
+
+            print()
+            print(render_diff(drill, max_timeline_rows=args.timeline_rows))
+        if args.out:
+            print(f"comparison written to {args.out}")
+    if args.svg_dir:
+        written = obs_compare.write_figures(comparison, args.svg_dir)
+        if not args.json:
+            print(f"{len(written)} figure(s) written to {args.svg_dir}")
+
+    violated = [
+        result for result in gate_results or () if not result["passed"]
+    ]
+    if violated:
+        print(
+            f"gate violation: {len(violated)} of {len(gate_results)} "
+            "gate(s) failed",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
 def _command_faults(args) -> int:
     from repro.errors import FaultError
     from repro.faults import (
@@ -1002,7 +1228,23 @@ def _command_suite_run(args) -> int:
         raise ConfigError(
             f"--workers must be at least 1, got {args.workers}"
         )
-    if args.plan:
+    if args.plan and args.spec:
+        raise ConfigError(
+            "pass either a plan file or --spec, not both"
+        )
+    if args.spec:
+        from repro.experiments.spec import compile_plan, load_spec
+
+        spec = load_spec(args.spec)
+        plan = compile_plan(spec)
+        if not args.json:
+            print(
+                f"spec {spec.name!r}: {len(plan.jobs)} job(s) "
+                f"({len(spec.candidates)} candidate(s) x "
+                f"{len(spec.workloads)} workload(s) x "
+                f"{len(spec.seeds)} seed(s)), plan key {plan.key()}"
+            )
+    elif args.plan:
         plan = CampaignPlan.from_file(args.plan)
     else:
         plan = table5_plan(scale=args.scale, mode=args.mode)
@@ -1217,11 +1459,38 @@ def _command_trace_report(args) -> int:
 
 
 def _command_explain(args) -> int:
-    from repro.obs.explain import render_explanation
+    from repro.obs.explain import (
+        render_divergence_explanation,
+        render_explanation,
+    )
 
     records = _load_trace_checked(args.path)
     if records is None:
         return 1
+    if args.against:
+        records_b = _load_trace_checked(args.against)
+        if records_b is None:
+            return 1
+        try:
+            text, first = render_divergence_explanation(
+                records,
+                records_b,
+                label_a=args.path,
+                label_b=args.against,
+                parameter=args.param,
+                show_counters=args.counters,
+            )
+        except ValueError as exc:  # no epochs / schema-1 config gaps
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(text)
+        if first is None:
+            return 0
+        print(
+            f"divergence: traces split at epoch {first}",
+            file=sys.stderr,
+        )
+        return 3
     try:
         print(
             render_explanation(
@@ -1257,7 +1526,21 @@ def _command_diff(args) -> int:
         print(json.dumps(_to_jsonable(diff), indent=2))
     else:
         print(render_diff(diff, max_timeline_rows=args.timeline_rows))
-    return 0
+    first = diff["first_divergence_epoch"]
+    if first is None:
+        return 0
+    # Same contract as `suite-report --diff`: divergence exits 3 so
+    # reproducibility checks can assert without parsing the report.
+    print(
+        "divergence: first at epoch {} ({} of {} compared epochs "
+        "differ)".format(
+            first,
+            diff["divergence"]["n_divergent_epochs"],
+            diff["n_compared"],
+        ),
+        file=sys.stderr,
+    )
+    return 3
 
 
 def _to_jsonable(value):
@@ -1328,6 +1611,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace-report": lambda: _command_trace_report(args),
         "explain": lambda: _command_explain(args),
         "diff": lambda: _command_diff(args),
+        "compare": lambda: _command_compare(args),
         "faults": lambda: _command_faults(args),
         "suite-run": lambda: _command_suite_run(args),
         "suite-report": lambda: _command_suite_report(args),

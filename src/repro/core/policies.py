@@ -45,6 +45,7 @@ __all__ = [
     "ConservativePolicy",
     "HybridPolicy",
     "policy_from_name",
+    "parse_policy",
 ]
 
 
@@ -426,3 +427,34 @@ def policy_from_name(name: str, **kwargs) -> ReconfigurationPolicy:
     if name not in policies:
         raise ConfigError(f"unknown policy {name!r}")
     return policies[name](**kwargs)
+
+
+def parse_policy(text: str) -> ReconfigurationPolicy:
+    """Parse a declarative policy string from a plan or experiment spec.
+
+    Accepted forms: ``conservative``, ``aggressive``, ``hybrid`` (the
+    default 40% tolerance), and ``hybrid:<tolerance>`` with the
+    tolerance as a fraction (``hybrid:0.4``). The string is the
+    content-addressed identity of the policy inside a
+    :class:`~repro.runner.plan.JobSpec`, so two spellings of the same
+    policy (``hybrid`` vs ``hybrid:0.40``) are *different* job keys on
+    purpose — the description, not the object, is what is hashed.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise ConfigError(f"policy must be a non-empty string, got {text!r}")
+    name, sep, argument = text.partition(":")
+    name = name.strip().lower()
+    kwargs = {}
+    if sep:
+        if name != "hybrid":
+            raise ConfigError(
+                f"policy {name!r} takes no tolerance argument "
+                f"(only 'hybrid:<tolerance>' does)"
+            )
+        try:
+            kwargs["tolerance"] = float(argument)
+        except ValueError:
+            raise ConfigError(
+                f"hybrid tolerance must be a number, got {argument!r}"
+            ) from None
+    return policy_from_name(name, **kwargs)

@@ -71,6 +71,10 @@ class ScheduleResult:
     records: List[EpochRecord] = field(default_factory=list)
     overhead_time_s: float = 0.0  # host telemetry/decision time
     overhead_energy_j: float = 0.0
+    #: Controller fault/hardening counters for this run (attached by the
+    #: harness when the scheme ran under fault injection; ``None`` for
+    #: fault-free runs and table-driven schemes).
+    fault_stats: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def append(self, record: EpochRecord) -> None:

@@ -6,7 +6,15 @@ Public API::
     from repro.experiments.harness import build_trace, evaluate_schemes
 """
 
-from repro.experiments import characterize, export, figures, harness, reporting
+from repro.experiments import (
+    characterize,
+    export,
+    figures,
+    harness,
+    reporting,
+    spec,
+)
+from repro.experiments.spec import ExperimentSpec, compile_plan, load_spec
 from repro.experiments.characterize import (
     PhaseProfile,
     characterize as characterize_trace,
@@ -29,6 +37,10 @@ __all__ = [
     "reporting",
     "characterize",
     "export",
+    "spec",
+    "ExperimentSpec",
+    "compile_plan",
+    "load_spec",
     "PhaseProfile",
     "characterize_trace",
     "format_characterization",

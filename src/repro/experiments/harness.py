@@ -286,6 +286,8 @@ def evaluate_schemes(
             )
             result = controller.run(context.trace)
             result.scheme = name
+            if context.faults is not None:
+                result.fault_stats = dict(controller.last_run_stats)
             return result
         if name == "Ideal Static":
             return ideal_static(table, context.mode)

@@ -38,7 +38,7 @@ Typical use::
 See ``docs/observability.md`` for the trace schema and naming rules.
 """
 
-from repro.obs import diff, explain, live, metrics, profile, report
+from repro.obs import compare, diff, explain, live, metrics, profile, report
 from repro.obs.sinks import (
     FileSink,
     MemorySink,
@@ -58,6 +58,7 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "compare",
     "diff",
     "explain",
     "live",

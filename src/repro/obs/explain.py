@@ -26,9 +26,13 @@ are rejected with a :class:`ValueError` naming the problem.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["explain", "render_explanation"]
+__all__ = [
+    "explain",
+    "render_explanation",
+    "render_divergence_explanation",
+]
 
 
 def _attrs(record: Dict) -> Dict:
@@ -201,3 +205,58 @@ def render_explanation(
                         f"    {name:<24} {_fmt_value(observed[name])}{note}"
                     )
     return "\n".join(lines)
+
+
+def render_divergence_explanation(
+    records_a: Sequence[Dict],
+    records_b: Sequence[Dict],
+    label_a: str = "A",
+    label_b: str = "B",
+    parameter: Optional[str] = None,
+    show_counters: bool = False,
+) -> Tuple[str, Optional[int]]:
+    """Explain both runs' decisions at their first divergence epoch.
+
+    Aligns the two traces with :func:`repro.obs.diff.diff_traces`,
+    then renders each side's provenance at the earliest epoch whose
+    applied configuration differs — the decision every "why did these
+    two runs split?" investigation starts from. Returns the rendered
+    text and the first-divergence epoch (``None`` when the runs are
+    identical, which callers map to exit 0 instead of 3). Raises
+    :class:`ValueError` like :func:`diff_traces` for traces without
+    comparable epochs.
+    """
+    from repro.obs.diff import diff_traces
+
+    diff = diff_traces(records_a, records_b, label_a=label_a, label_b=label_b)
+    first = diff["first_divergence_epoch"]
+    if first is None:
+        return (
+            "configurations identical across all "
+            f"{diff['n_compared']} compared epochs; nothing to explain",
+            None,
+        )
+    divergence = diff["divergence"]
+    split = ", ".join(sorted(divergence["timeline"][0]["params"]))
+    lines = [
+        f"first divergence: epoch {first} ({split}); "
+        f"{divergence['n_divergent_epochs']} of {diff['n_compared']} "
+        "compared epochs differ"
+    ]
+    for label, records in ((label_a, records_a), (label_b, records_b)):
+        lines.append("")
+        lines.append(f"--- {label}: decisions at epoch {first} ---")
+        try:
+            lines.append(
+                render_explanation(
+                    records,
+                    epoch=first,
+                    parameter=parameter,
+                    show_counters=show_counters,
+                )
+            )
+        except ValueError as exc:
+            # One side recorded without provenance: still report the
+            # divergence itself rather than failing the whole verb.
+            lines.append(f"(no matching provenance: {exc})")
+    return "\n".join(lines), first

@@ -82,6 +82,9 @@ class CampaignStatus:
 
     ledger_path: str
     plan_name: str
+    #: Campaign identity — the plan's content-addressed key, from the
+    #: ledger header or (multi-campaign hosts) the heartbeats themselves.
+    campaign: Optional[str] = None
     total: int = 0
     done: int = 0
     failed: int = 0
@@ -107,6 +110,7 @@ class CampaignStatus:
         return {
             "ledger": self.ledger_path,
             "plan_name": self.plan_name,
+            "campaign": self.campaign,
             "total": self.total,
             "done": self.done,
             "failed": self.failed,
@@ -220,9 +224,25 @@ def read_live(
         raise ConfigError(
             f"{ledger_path} is not a run ledger (missing header)"
         )
+    if plan_name == "campaign" or plan_key is None:
+        # Older headers (or hand-rolled ledgers) may lack identity; the
+        # heartbeats themselves carry it since they label multi-campaign
+        # hosts.
+        for record in records:
+            if record.get("type") != "heartbeat":
+                continue
+            if plan_name == "campaign" and record.get("plan"):
+                plan_name = str(record["plan"])
+            if plan_key is None and record.get("campaign"):
+                plan_key = str(record["campaign"])
+            if plan_name != "campaign" and plan_key is not None:
+                break
 
     status = CampaignStatus(
-        ledger_path=str(ledger_path), plan_name=plan_name, now=now
+        ledger_path=str(ledger_path),
+        plan_name=plan_name,
+        campaign=plan_key,
+        now=now,
     )
 
     # Canonical terminal rows: done/failed/quarantined jobs already
@@ -363,7 +383,11 @@ def render_top(status: CampaignStatus) -> str:
         else 0.0
     )
     lines = [
-        "campaign {!r} — {}".format(status.plan_name, status.ledger_path),
+        "campaign {!r}{} — {}".format(
+            status.plan_name,
+            f" [{status.campaign}]" if status.campaign else "",
+            status.ledger_path,
+        ),
         "  progress  : {}/{} jobs ({} ok, {} failed) [{}] {:.0f}%".format(
             status.done + status.failed,
             status.total,
@@ -426,6 +450,14 @@ def export_campaign_metrics(status: CampaignStatus, registry=None):
     from repro.obs import metrics as obs_metrics
 
     registry = registry if registry is not None else obs_metrics.REGISTRY
+    # Identity travels as labels on a constant info gauge (the
+    # OpenMetrics convention) so scrapers on multi-campaign hosts can
+    # join the unlabeled progress gauges to a plan/campaign pair.
+    registry.gauge(
+        "campaign.info", "Campaign identity (constant 1)"
+    ).labels(
+        plan=status.plan_name, campaign=status.campaign or "unknown"
+    ).set(1.0)
     registry.gauge(
         "campaign.jobs.total", "Jobs in the campaign plan"
     ).set(status.total)

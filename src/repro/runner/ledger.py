@@ -255,13 +255,18 @@ class RunLedger:
     ) -> None:
         """Volatile liveness record for ``repro top``: wall-clock
         timestamp, progress counters, and the label of the job being
-        started. Flushed but *not* fsynced — losing the last heartbeat
-        in a crash costs nothing, and long campaigns should not pay a
-        second fsync per job for telemetry.
+        started. Carries the plan name and campaign (plan key) so
+        monitors aggregating many ledgers on one host can attribute
+        every pulse without re-reading headers. Flushed but *not*
+        fsynced — losing the last heartbeat in a crash costs nothing,
+        and long campaigns should not pay a second fsync per job for
+        telemetry.
         """
         record: Dict[str, object] = {
             "type": "heartbeat",
             "ts": round(time.time(), 3),
+            "plan": self.plan_name,
+            "campaign": self.plan_key,
             "done": int(done),
             "failed": int(failed),
             "total": int(total),

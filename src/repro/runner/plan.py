@@ -58,8 +58,18 @@ _JOB_KEYS = (
     "l1_type",
     "bandwidth_gbps",
     "deadline_s",
+    "candidate",
+    "workload",
+    "seed",
+    "policy",
+    "hardening",
+    "faults",
+    "model",
+    "regret",
 )
-_DEFAULT_KEYS = tuple(k for k in _JOB_KEYS if k not in ("kernel", "matrix"))
+#: Per-job identity fields that make no sense as plan-wide defaults.
+_NON_DEFAULT_KEYS = ("kernel", "matrix", "candidate", "workload")
+_DEFAULT_KEYS = tuple(k for k in _JOB_KEYS if k not in _NON_DEFAULT_KEYS)
 _PLAN_KEYS = ("name", "defaults", "jobs", "faults")
 
 
@@ -90,6 +100,25 @@ class JobSpec:
     bandwidth_gbps: float = 1.0
     #: Per-job deadline override; ``None`` inherits the runner's.
     deadline_s: Optional[float] = None
+    #: Experiment-spec provenance: which named candidate/workload this
+    #: job belongs to (``repro compare`` groups rows by these).
+    candidate: Optional[str] = None
+    workload: Optional[str] = None
+    #: Input seed (vector generation, epoch-table sampling).
+    seed: int = 0
+    #: Declarative policy string (``conservative`` / ``aggressive`` /
+    #: ``hybrid:<tolerance>``); ``None`` keeps the paper default.
+    policy: Optional[str] = None
+    #: ``False`` disables the hardened controller layer for this job's
+    #: fault run; ``None`` keeps the default (hardened when faulted).
+    hardening: Optional[bool] = None
+    #: Hardware fault schedule applied to the adaptive scheme only.
+    faults: Optional[dict] = None
+    #: Path of a trained model JSON; ``None`` trains the stock model.
+    model: Optional[str] = None
+    #: Also compute the per-scheme oracle regret (builds an EpochTable,
+    #: noticeably more expensive — opt in via the spec's metric list).
+    regret: bool = False
 
     def __post_init__(self) -> None:
         from repro.sparse import suite
@@ -131,6 +160,51 @@ class JobSpec:
             raise ConfigError(
                 f"deadline_s must be positive, got {self.deadline_s!r}"
             )
+        for name in ("candidate", "workload"):
+            value = getattr(self, name)
+            if value is not None and (
+                not isinstance(value, str) or not value
+            ):
+                raise ConfigError(
+                    f"{name} must be a non-empty string, got {value!r}"
+                )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ConfigError(f"seed must be an integer, got {self.seed!r}")
+        if self.seed < 0:
+            raise ConfigError(f"seed must be >= 0, got {self.seed!r}")
+        if self.policy is not None:
+            from repro.core.policies import parse_policy
+
+            parse_policy(self.policy)  # fail fast at plan-load time
+        if self.hardening is not None and not isinstance(
+            self.hardening, bool
+        ):
+            raise ConfigError(
+                f"hardening must be true/false, got {self.hardening!r}"
+            )
+        if self.faults is not None:
+            from repro.faults.spec import FaultSchedule
+
+            if not isinstance(self.faults, Mapping):
+                raise ConfigError(
+                    f"job faults must be a schedule object, "
+                    f"got {self.faults!r}"
+                )
+            # Canonicalize through the real parser so the job key hashes
+            # the validated form, not an arbitrary spelling.
+            object.__setattr__(
+                self, "faults", FaultSchedule.from_dict(self.faults).as_dict()
+            )
+        if self.model is not None and (
+            not isinstance(self.model, str) or not self.model
+        ):
+            raise ConfigError(
+                f"model must be a path string, got {self.model!r}"
+            )
+        if not isinstance(self.regret, bool):
+            raise ConfigError(
+                f"regret must be true/false, got {self.regret!r}"
+            )
 
     # ------------------------------------------------------------------
     def key(self) -> str:
@@ -138,7 +212,20 @@ class JobSpec:
         return job_key({"type": "evaluate", **self.as_dict()})
 
     def label(self) -> str:
+        if self.candidate is not None:
+            base = f"{self.candidate}:{self.workload or self.matrix}"
+            return f"{base}/s{self.seed}" if self.seed else base
         return f"{self.kernel}/{self.matrix}/{self.mode}"
+
+    @property
+    def candidate_scheme(self) -> str:
+        """The scheme whose metrics represent this job's candidate: the
+        first non-Baseline scheme, or ``Baseline`` itself for
+        baseline-only candidates."""
+        for name in self.schemes:
+            if name != "Baseline":
+                return name
+        return "Baseline"
 
     def as_dict(self) -> dict:
         out: dict = {
@@ -152,6 +239,25 @@ class JobSpec:
         }
         if self.deadline_s is not None:
             out["deadline_s"] = self.deadline_s
+        # Optional fields appear only when set: a job that does not use
+        # them keeps its pre-existing content-addressed key, so old
+        # ledgers stay resumable across this schema growth.
+        if self.candidate is not None:
+            out["candidate"] = self.candidate
+        if self.workload is not None:
+            out["workload"] = self.workload
+        if self.seed != 0:
+            out["seed"] = self.seed
+        if self.policy is not None:
+            out["policy"] = self.policy
+        if self.hardening is not None:
+            out["hardening"] = self.hardening
+        if self.faults is not None:
+            out["faults"] = self.faults
+        if self.model is not None:
+            out["model"] = self.model
+        if self.regret:
+            out["regret"] = True
         return out
 
     @staticmethod

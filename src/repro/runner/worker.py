@@ -92,14 +92,19 @@ def _evaluate_fn(payload: dict) -> Callable[[], dict]:
     is a :class:`JobSpec` dict, revalidated on the worker side."""
 
     def fn() -> dict:
+        from repro.core import load_model
+        from repro.core.hardening import HardeningConfig
         from repro.core.modes import OptimizationMode
+        from repro.core.policies import parse_policy
         from repro.experiments.harness import (
             EvaluationContext,
             build_trace,
             default_policy_for,
             evaluate_schemes,
             gains_over,
+            oracle_regret,
         )
+        from repro.faults.spec import FaultSchedule
         from repro.obs import profile as obs_profile
         from repro.runner.plan import JobSpec
         from repro.transmuter.machine import TransmuterModel
@@ -115,7 +120,14 @@ def _evaluate_fn(payload: dict) -> Callable[[], dict]:
         # nests under it in the campaign flamegraph.
         with obs_profile.span("evaluate_job"):
             trace = build_trace(
-                spec.kernel, spec.matrix, scale=spec.scale
+                spec.kernel, spec.matrix, scale=spec.scale, seed=spec.seed
+            )
+            policy = (
+                parse_policy(spec.policy)
+                if spec.policy is not None
+                else default_policy_for(
+                    "spmspm" if spec.kernel == "spmspm" else "spmspv"
+                )
             )
             context = EvaluationContext(
                 trace=trace,
@@ -124,22 +136,60 @@ def _evaluate_fn(payload: dict) -> Callable[[], dict]:
                 ),
                 mode=mode,
                 l1_type=spec.l1_type,
-                policy=default_policy_for(
-                    "spmspm" if spec.kernel == "spmspm" else "spmspv"
+                model=(
+                    load_model(spec.model)
+                    if spec.model is not None
+                    else None
+                ),
+                policy=policy,
+                seed=spec.seed,
+                faults=(
+                    FaultSchedule.from_dict(spec.faults)
+                    if spec.faults is not None
+                    else None
+                ),
+                hardening=(
+                    HardeningConfig.disabled()
+                    if spec.hardening is False
+                    else None
                 ),
             )
             results = evaluate_schemes(context, spec.schemes)
             gains = gains_over(results)
-        return {
-            "n_epochs": int(trace.n_epochs),
-            "schemes": {
-                name: {
-                    metric: float(value)
-                    for metric, value in values.items()
-                }
-                for name, values in gains.items()
-            },
-        }
+            table = None
+            if spec.regret:
+                from repro.baselines import EpochTable
+
+                with obs_profile.span("epoch_table"):
+                    table = EpochTable(
+                        context.machine,
+                        trace,
+                        n_samples=context.n_samples,
+                        l1_type=spec.l1_type,
+                        seed=spec.seed,
+                        include=list(context.static_points().values()),
+                    )
+        schemes: Dict[str, dict] = {}
+        for name, values in gains.items():
+            schedule = results[name]
+            entry = {
+                metric: float(value) for metric, value in values.items()
+            }
+            entry["time_s"] = float(schedule.total_time_s)
+            entry["energy_j"] = float(schedule.total_energy_j)
+            entry["edp_js"] = float(
+                schedule.total_energy_j * schedule.total_time_s
+            )
+            entry["avg_power_w"] = float(schedule.average_power_w)
+            entry["reconfigurations"] = int(schedule.n_reconfigurations)
+            if schedule.fault_stats is not None:
+                entry["fault_stats"] = dict(schedule.fault_stats)
+            if table is not None:
+                entry["oracle_regret_pct"] = float(
+                    oracle_regret(schedule, table, mode)["regret_pct"]
+                )
+            schemes[name] = entry
+        return {"n_epochs": int(trace.n_epochs), "schemes": schemes}
 
     return fn
 
@@ -205,14 +255,28 @@ def plan_portable_jobs(plan) -> List[PortableJob]:
             index=index,
             payload=spec.as_dict(),
             deadline_s=spec.deadline_s,
-            meta={
-                "kernel": spec.kernel,
-                "matrix": spec.matrix,
-                "mode": spec.mode,
-            },
+            meta=_job_meta(spec),
         )
         for index, spec in enumerate(plan.jobs)
     ]
+
+
+def _job_meta(spec) -> Dict[str, object]:
+    """Ledger-row metadata for one plan entry. Spec-compiled jobs carry
+    their candidate/workload/seed identity (``repro compare`` groups
+    rows by these); plain plans keep the historical three keys so their
+    ledger bytes are unchanged."""
+    meta: Dict[str, object] = {
+        "kernel": spec.kernel,
+        "matrix": spec.matrix,
+        "mode": spec.mode,
+    }
+    if spec.candidate is not None:
+        meta["candidate"] = spec.candidate
+        meta["workload"] = spec.workload or spec.matrix
+        meta["seed"] = spec.seed
+        meta["scheme"] = spec.candidate_scheme
+    return meta
 
 
 # ---------------------------------------------------------------------------

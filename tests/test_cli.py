@@ -269,26 +269,57 @@ class TestExplainAndDiffCommands:
     def test_diff_reports_divergence(self, traces, capsys):
         clean, noisy = traces
         capsys.readouterr()
-        assert main(["diff", str(clean), str(noisy)]) == 0
-        out = capsys.readouterr().out
-        assert "trace diff" in out
-        assert "first divergence: epoch" in out
-        assert "whole-run metrics" in out
+        # Divergence exits 3 (like suite-report --diff) with a one-line
+        # stderr summary, so scripts can assert without parsing.
+        assert main(["diff", str(clean), str(noisy)]) == 3
+        captured = capsys.readouterr()
+        assert "trace diff" in captured.out
+        assert "first divergence: epoch" in captured.out
+        assert "whole-run metrics" in captured.out
+        assert captured.err.startswith("divergence: first at epoch")
+        assert len(captured.err.strip().splitlines()) == 1
 
     def test_diff_identical_traces(self, traces, capsys):
         clean, _ = traces
         capsys.readouterr()
         assert main(["diff", str(clean), str(clean)]) == 0
-        assert "identical" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "identical" in captured.out
+        assert captured.err == ""
 
     def test_diff_json(self, traces, capsys):
         clean, noisy = traces
         capsys.readouterr()
-        assert main(["diff", str(clean), str(noisy), "--json"]) == 0
+        # --json keeps stdout machine-parseable and still exits 3.
+        assert main(["diff", str(clean), str(noisy), "--json"]) == 3
         payload = json.loads(capsys.readouterr().out)
         assert payload["first_divergence_epoch"] is not None
         assert "parameter_counts" in payload["divergence"]
         assert "regression_pct" in payload["metrics"]
+
+    def test_explain_against_divergent(self, traces, capsys):
+        clean, noisy = traces
+        capsys.readouterr()
+        assert main(["explain", str(clean), "--against", str(noisy)]) == 3
+        captured = capsys.readouterr()
+        assert "first divergence: epoch" in captured.out
+        assert "decisions at epoch" in captured.out
+        assert "decision provenance" in captured.out
+        assert captured.err.startswith("divergence: traces split")
+
+    def test_explain_against_identical(self, traces, capsys):
+        clean, _ = traces
+        capsys.readouterr()
+        assert main(["explain", str(clean), "--against", str(clean)]) == 0
+        captured = capsys.readouterr()
+        assert "identical" in captured.out
+        assert captured.err == ""
+
+    def test_explain_against_bad_trace(self, traces, tmp_path, capsys):
+        clean, _ = traces
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json at all\n")
+        assert main(["explain", str(clean), "--against", str(bad)]) == 1
 
     def test_missing_trace_is_one_line_error(self, capsys):
         assert main(["explain", "/nonexistent/trace.jsonl"]) == 1

@@ -64,7 +64,10 @@ def _header(plan_key="live", worker=None, plan_name="live-plan"):
     return record
 
 
-def _beat(ts, done, failed=0, total=4, worker=None, job=None):
+def _beat(
+    ts, done, failed=0, total=4, worker=None, job=None, plan=None,
+    campaign=None,
+):
     record = {
         "type": "heartbeat",
         "ts": ts,
@@ -76,13 +79,17 @@ def _beat(ts, done, failed=0, total=4, worker=None, job=None):
         record["worker"] = worker
     if job is not None:
         record["job"] = job
+    if plan is not None:
+        record["plan"] = plan
+    if campaign is not None:
+        record["campaign"] = campaign
     return record
 
 
 class TestHeartbeatLedgerContract:
     def test_serial_runner_emits_heartbeats(self, tmp_path):
         path = tmp_path / "hb.jsonl"
-        ledger = RunLedger(path, plan_key="hb")
+        ledger = RunLedger(path, plan_key="hb", plan_name="hb-plan")
         runner = SuiteRunner(config=FAST, ledger=ledger)
         runner.run([_build(j) for j in [_sleep_job(0), _sleep_job(1)]])
         records, skipped = read_ledger_records(path)
@@ -96,6 +103,10 @@ class TestHeartbeatLedgerContract:
         assert beats[-1]["total"] == 2
         for beat in beats:
             assert isinstance(beat["ts"], float)
+            # Every beat is self-identifying so multi-campaign hosts
+            # can label scraped telemetry without the header.
+            assert beat["plan"] == "hb-plan"
+            assert beat["campaign"] == "hb"
 
     def test_resume_ignores_heartbeats(self, tmp_path):
         path = tmp_path / "resume.jsonl"
@@ -354,6 +365,54 @@ class TestReadLive:
         assert status.remaining == 5
         assert status.eta_s != status.eta_s  # NaN
 
+    def test_campaign_identity_from_header(self, tmp_path):
+        path = tmp_path / "id.jsonl"
+        _write_ledger(path, [_header(), _beat(1.0, 1, total=2)])
+        status = live.read_live(path, now=2.0)
+        assert status.plan_name == "live-plan"
+        assert status.campaign == "live"
+
+    def test_placeholder_header_falls_back_to_heartbeats(self, tmp_path):
+        """Hand-rolled or pre-identity headers lack a useful name/key;
+        the self-identifying heartbeats fill both in."""
+        path = tmp_path / "old.jsonl"
+        _write_ledger(
+            path,
+            [
+                {
+                    "type": "header",
+                    "version": LEDGER_VERSION,
+                    "plan_name": "campaign",
+                },
+                _beat(1.0, 0, total=2),
+                _beat(
+                    2.0, 1, total=2, plan="fig11", campaign="abcd1234"
+                ),
+            ],
+        )
+        status = live.read_live(path, now=3.0)
+        assert status.plan_name == "fig11"
+        assert status.campaign == "abcd1234"
+        assert status.as_dict()["campaign"] == "abcd1234"
+
+    def test_legacy_heartbeats_without_identity_tolerated(self, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        _write_ledger(
+            path,
+            [
+                {
+                    "type": "header",
+                    "version": LEDGER_VERSION,
+                    "plan_name": "campaign",
+                },
+                _beat(1.0, 1, total=2),
+            ],
+        )
+        status = live.read_live(path, now=2.0)
+        assert status.plan_name == "campaign"
+        assert status.campaign is None
+        assert status.done == 1
+
 
 class TestRendering:
     def test_render_top_flags_and_progress(self, tmp_path):
@@ -377,6 +436,7 @@ class TestRendering:
         status = live.read_live(base, now=now, straggler_after_s=30.0)
         text = live.render_top(status)
         assert "live-plan" in text
+        assert "[live]" in text  # campaign id in the title line
         assert "1/4 jobs" in text
         assert "[slow-one]" in text
         assert "DEAD" in text  # w1: 200s > 4 * 30s
@@ -426,6 +486,11 @@ class TestMetricsExport:
         registry = live.export_campaign_metrics(status, MetricsRegistry())
         text = registry.render_openmetrics()
         assert text.endswith("# EOF\n")
+        # Identity gauge labels the unlabeled progress series so
+        # multi-campaign scrapers can join them to a plan/campaign.
+        assert (
+            'campaign_info{campaign="live",plan="live-plan"} 1' in text
+        )
         assert "campaign_jobs_total 2" in text
         assert "campaign_jobs_done 2" in text
         assert 'campaign_worker_done{worker="w0"} 2' in text
