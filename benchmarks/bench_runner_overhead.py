@@ -205,3 +205,75 @@ def test_workers_speedup(benchmark, emit):
             f"on {cores} cores)"
         )
     run_once(benchmark, lambda: _time_portable(N_WORKERS))
+
+
+# ---------------------------------------------------------------------------
+#: Trivial jobs per store-fabric campaign.
+N_STORE_JOBS = 50
+
+#: Maximum tolerated fabric cost per job over the plain supervised
+#: runner: lease claim + renewal thread + result publish + finalize
+#: merge share. Campaign jobs are seconds-long; ~15 ms of fsync-bound
+#: coordination per job is noise there but a regression here would
+#: still catch an accidental O(N^2) rescan or a sync call in the loop.
+MAX_STORE_OVERHEAD_S = 0.015
+
+
+def test_store_fabric_overhead(benchmark, emit):
+    """The lease-claim/publish/finalize fabric must stay milliseconds
+    per job over the plain supervised runner on the same grid."""
+    import tempfile as tf
+
+    from repro.runner import (
+        ExperimentStore,
+        PortableJob,
+        run_store_worker,
+    )
+
+    jobs = [
+        PortableJob(
+            kind="sleep",
+            key=f"store{index:03d}",
+            label=f"store/{index}",
+            index=index,
+            payload={"seconds": 0.0, "value": index},
+        )
+        for index in range(N_STORE_JOBS)
+    ]
+    config = SupervisorConfig(max_retries=0)
+
+    def plain() -> None:
+        SuiteRunner(config=config).run_portable(jobs, name="bench")
+
+    def fabric() -> None:
+        with tf.TemporaryDirectory() as scratch:
+            store = ExperimentStore.create(
+                Path(scratch) / "store",
+                jobs=jobs,
+                name="bench",
+                config=config,
+            )
+            summary = run_store_worker(store, poll_s=0.01)
+            assert summary["complete"]
+
+    plain_s = best_of(plain, repeats=3)
+    fabric_s = best_of(fabric, repeats=3)
+    per_job = (fabric_s - plain_s) / N_STORE_JOBS
+    emit(
+        "\n".join(
+            [
+                f"experiment-store fabric overhead ({N_STORE_JOBS} "
+                f"trivial jobs, one worker)",
+                f"  plain runner:  {plain_s * 1e3:8.3f} ms",
+                f"  store fabric:  {fabric_s * 1e3:8.3f} ms"
+                f"  ({per_job * 1e3:6.3f} ms/job)",
+                f"  budget: {MAX_STORE_OVERHEAD_S * 1e3:.1f} ms/job "
+                f"(claim + publish + finalize share)",
+            ]
+        )
+    )
+    assert per_job < MAX_STORE_OVERHEAD_S, (
+        f"store fabric costs {per_job * 1e3:.2f} ms per job over the "
+        f"plain runner (budget {MAX_STORE_OVERHEAD_S * 1e3:.1f} ms)"
+    )
+    run_once(benchmark, fabric)

@@ -50,6 +50,20 @@ Commands
     jobs across N processes with byte-identical results. ``--spec``
     compiles a declarative experiment spec (see ``docs/experiments.md``)
     into the plan instead, for ``repro compare`` afterwards.
+    ``--store DIR`` registers the plan in a shared experiment store
+    and works it as one store worker — any number of additional
+    ``repro worker --store DIR`` processes (any host sharing the path)
+    can join, and the converged ledger is byte-identical regardless.
+``worker``
+    Join a registered experiment store as one worker process: claim
+    open jobs via atomic lease files, execute them under the store's
+    supervision config, publish results first-wins, and exit when the
+    grid converges (see docs/robustness.md, "multi-host campaigns").
+``ledger-compact``
+    Rewrite a run ledger to its header plus terminal records only,
+    sealed with a checksum trailer — reports stay byte-identical while
+    retry/heartbeat churn is dropped. ``--check`` verifies a compacted
+    ledger's trailer instead.
 ``suite-report``
     Summarize a past campaign's run ledger without re-running it (job
     counts, retries, quarantine taxonomy, per-worker timing), or diff
@@ -490,6 +504,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="durable JSONL run ledger; arms checkpointing and --resume",
     )
     suite_run.add_argument(
+        "--store",
+        metavar="DIR",
+        help="register the plan in a shared experiment store at DIR "
+        "(creating or attaching) and run as one store worker; other "
+        "hosts join with `repro worker --store DIR` "
+        "(mutually exclusive with --ledger/--resume/--workers)",
+    )
+    suite_run.add_argument(
         "--resume",
         action="store_true",
         help="continue a previous run from --ledger "
@@ -580,6 +602,88 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the summary/diff as JSON instead of text",
+    )
+
+    worker = commands.add_parser(
+        "worker",
+        help="join a shared experiment store as one campaign worker",
+    )
+    worker.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="experiment store directory (registered by "
+        "`repro suite-run --store DIR` on any participating host)",
+    )
+    worker.add_argument(
+        "--owner",
+        default=None,
+        help="lease owner id recorded on every claim "
+        "(default: <hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        help="lease time-to-live in seconds; a worker silent for this "
+        "long forfeits its claim to any survivor (default 30)",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.25,
+        help="seconds between scans when no open job is claimable",
+    )
+    worker.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="stop after publishing this many jobs, leaving the rest "
+        "to other workers",
+    )
+    worker.add_argument(
+        "--wait",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="wait up to this long for the store registration to "
+        "appear (workers launched before the coordinator)",
+    )
+    worker.add_argument(
+        "--no-finalize",
+        action="store_true",
+        help="never merge the canonical ledger, even when this worker "
+        "observes convergence (leave it to the coordinator)",
+    )
+    worker.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the worker summary as JSON instead of one line",
+    )
+
+    ledger_compact = commands.add_parser(
+        "ledger-compact",
+        help="rewrite a ledger to terminal records + checksum trailer",
+    )
+    ledger_compact.add_argument(
+        "ledger",
+        help="run ledger JSONL file to compact (or verify with --check)",
+    )
+    ledger_compact.add_argument(
+        "--out",
+        help="write the compacted ledger here instead of replacing "
+        "the input in place",
+    )
+    ledger_compact.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the ledger's checksum trailer instead of "
+        "compacting (exit 1 when missing or corrupt)",
+    )
+    ledger_compact.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the compaction/verification stats as JSON",
     )
 
     top = commands.add_parser(
@@ -1216,6 +1320,22 @@ def _command_suite_run(args) -> int:
         table5_plan,
     )
 
+    if args.store and args.ledger:
+        raise ConfigError(
+            "--store keeps its own canonical ledger inside the store "
+            "directory; pass either --store or --ledger, not both"
+        )
+    if args.store and args.resume:
+        raise ConfigError(
+            "--store campaigns resume themselves: re-running the same "
+            "command (or any `repro worker --store`) continues from "
+            "the published results; drop --resume"
+        )
+    if args.store and args.workers != 1:
+        raise ConfigError(
+            "--store parallelism comes from attaching more workers "
+            "(`repro worker --store DIR`), not --workers; drop --workers"
+        )
     if args.resume and not args.ledger:
         raise ConfigError(
             "--resume requires --ledger (the run ledger to continue)"
@@ -1257,6 +1377,9 @@ def _command_suite_run(args) -> int:
         backoff_base_s=args.backoff,
         seed=args.seed,
     )
+
+    if args.store:
+        return _suite_run_store(args, plan, config)
 
     def execute():
         return run_plan(
@@ -1326,6 +1449,131 @@ def _command_suite_run(args) -> int:
             f"new jobs{hint}",
             file=sys.stderr,
         )
+    return 0
+
+
+def _suite_run_store(args, plan, config) -> int:
+    """``suite-run --store``: register the plan and work it as one
+    store worker (the coordinator leg of a multi-host campaign)."""
+    from repro.obs.sinks import write_atomic
+    from repro.runner import (
+        ExperimentStore,
+        format_suite_table,
+        run_store_worker,
+    )
+
+    store = ExperimentStore.create_or_attach(
+        args.store, plan=plan, config=config
+    )
+    if not args.json:
+        print(
+            f"store {store.root}: plan {store.plan_name!r} "
+            f"({store.n_jobs} jobs, key {store.plan_key}) — "
+            f"join with `repro worker --store {store.root}`"
+        )
+    summary = run_store_worker(store, max_jobs=args.max_jobs)
+    report = store.report()
+    payload = _to_jsonable({"report": report.as_dict(), "worker": summary})
+    if args.out:
+        write_atomic(
+            args.out, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_suite_table(report))
+        if args.out:
+            print(f"suite report written to {args.out}")
+        print(
+            f"store worker w{summary['worker']} ({summary['owner']}): "
+            f"{summary['published']} job(s) published, "
+            f"finalized={summary['finalized']}"
+        )
+    if not summary["complete"]:
+        print(
+            "checkpoint: store not yet converged "
+            f"({len(store.open_entries())} open job(s)); any "
+            "`repro worker --store` can finish it",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _command_worker(args) -> int:
+    from repro.errors import ConfigError
+    from repro.runner import (
+        DEFAULT_LEASE_TTL_S,
+        ExperimentStore,
+        run_store_worker,
+    )
+
+    if args.wait < 0:
+        raise ConfigError(f"--wait must be non-negative, got {args.wait:g}")
+    ttl = DEFAULT_LEASE_TTL_S if args.lease_ttl is None else args.lease_ttl
+    store = ExperimentStore.attach(args.store, wait_s=args.wait)
+    summary = run_store_worker(
+        store,
+        owner=args.owner,
+        lease_ttl_s=ttl,
+        poll_s=args.poll,
+        max_jobs=args.max_jobs,
+        finalize=not args.no_finalize,
+    )
+    if args.json:
+        print(json.dumps(_to_jsonable(summary), indent=2, sort_keys=True))
+    else:
+        print(
+            f"worker w{summary['worker']} ({summary['owner']}): "
+            f"{summary['published']} job(s) published "
+            f"({summary['ok']} ok, {summary['failed']} failed) "
+            f"in {summary['duration_s']:.2f}s — "
+            f"store {'converged' if summary['complete'] else 'open'}"
+            + (", ledger finalized" if summary["finalized"] else "")
+        )
+    return 0
+
+
+def _command_ledger_compact(args) -> int:
+    from repro.runner import compact_ledger, verify_trailer
+
+    if args.check:
+        result = verify_trailer(args.ledger)
+        if args.json:
+            print(json.dumps(_to_jsonable(result), indent=2, sort_keys=True))
+        if not result["present"]:
+            print(
+                f"error: {args.ledger} has no checksum trailer "
+                "(not a compacted ledger)",
+                file=sys.stderr,
+            )
+            return 1
+        if not result["ok"]:
+            print(
+                f"error: {args.ledger} trailer mismatch "
+                f"(expected sha256 {result['expected']}, "
+                f"recomputed {result['sha256']})",
+                file=sys.stderr,
+            )
+            return 1
+        if not args.json:
+            print(
+                f"{args.ledger}: trailer ok "
+                f"({result['records']} records, sha256 {result['sha256']})"
+            )
+        return 0
+    stats = compact_ledger(args.ledger, out=args.out)
+    if args.json:
+        print(json.dumps(_to_jsonable(stats), indent=2, sort_keys=True))
+    else:
+        dropped = sum(stats["dropped"].values())
+        print(
+            f"compacted {stats['path']} -> {stats['out']}: "
+            f"{stats['records_before']} -> {stats['records_after']} "
+            f"records ({stats['jobs']} jobs, {dropped} volatile/"
+            f"superseded dropped, {stats['torn_lines']} torn), "
+            f"{stats['bytes_before']} -> {stats['bytes_after']} bytes"
+        )
+        print(f"trailer sha256 {stats['sha256']}")
     return 0
 
 
@@ -1614,6 +1862,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": lambda: _command_compare(args),
         "faults": lambda: _command_faults(args),
         "suite-run": lambda: _command_suite_run(args),
+        "worker": lambda: _command_worker(args),
+        "ledger-compact": lambda: _command_ledger_compact(args),
         "suite-report": lambda: _command_suite_report(args),
         "top": lambda: _command_top(args),
         "profile-report": lambda: _command_profile_report(args),

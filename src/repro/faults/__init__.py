@@ -19,6 +19,7 @@ from repro.faults.spec import (
     HOST_FAULTS,
     MACHINE_FAULTS,
     RECONFIG_FAULTS,
+    STORE_FAULTS,
     FaultSchedule,
     FaultSpec,
     mixed_schedule,
@@ -31,6 +32,7 @@ __all__ = [
     "HOST_FAULTS",
     "MACHINE_FAULTS",
     "RECONFIG_FAULTS",
+    "STORE_FAULTS",
     "CampaignResult",
     "FaultInjector",
     "FaultSchedule",

@@ -44,12 +44,25 @@ Kind                   Effect when it fires
                        pressure (:class:`MemoryError`); the suite runner
                        quarantines it immediately — rerunning the same
                        job at the same scale would just OOM again.
+``lease_lost``         Fabric-level: a store worker's lease on the job it
+                       is running vanishes mid-execution (an aggressive
+                       reclaim, an operator ``rm``); the worker must
+                       detect the loss and discard its partial output —
+                       convergence is preserved by first-wins publishing.
+``clock_skew``         Fabric-level: the claiming worker's wall clock is
+                       offset by ``params: {"seconds": s}`` (positive or
+                       negative), so the lease deadlines it writes and
+                       reads disagree with its peers' — exercising early
+                       reclaim and double-run harmlessness.
 =====================  ====================================================
 
 The ``job_*`` kinds are interpreted by :mod:`repro.runner`, not by
 the :class:`~repro.faults.injector.FaultInjector` — their window and
-rate apply per campaign *job attempt* instead of per epoch. A schedule
-may mix host-level and hardware kinds; each layer consumes its own.
+rate apply per campaign *job attempt* instead of per epoch. The
+fabric kinds (``lease_lost``/``clock_skew``) are interpreted by
+:mod:`repro.runner.store` workers, per claimed job. A schedule may mix
+host-level, fabric-level, and hardware kinds; each layer consumes its
+own.
 
 ``rate`` is the per-epoch probability that a spec fires inside its
 ``[start_epoch, end_epoch)`` window; a rate of 1.0 fires every epoch
@@ -71,6 +84,7 @@ __all__ = [
     "RECONFIG_FAULTS",
     "MACHINE_FAULTS",
     "HOST_FAULTS",
+    "STORE_FAULTS",
     "FAULT_KINDS",
     "FaultSpec",
     "FaultSchedule",
@@ -88,10 +102,18 @@ RECONFIG_FAULTS: Tuple[str, ...] = ("reconfig_drop", "reconfig_partial")
 MACHINE_FAULTS: Tuple[str, ...] = ("bandwidth_throttle", "thermal_clamp")
 #: Host-level kinds, interpreted per job attempt by ``repro.runner``.
 HOST_FAULTS: Tuple[str, ...] = ("job_hang", "job_crash", "job_oom")
+#: Fabric-level kinds, interpreted per claimed job by
+#: ``repro.runner.store`` workers (kept out of ``HOST_FAULTS`` so the
+#: supervisor's injector never mistakes a lease fault for a job crash).
+STORE_FAULTS: Tuple[str, ...] = ("lease_lost", "clock_skew")
 
 #: Every fault kind the framework understands (hardware + host level).
 FAULT_KINDS: Tuple[str, ...] = (
-    COUNTER_FAULTS + RECONFIG_FAULTS + MACHINE_FAULTS + HOST_FAULTS
+    COUNTER_FAULTS
+    + RECONFIG_FAULTS
+    + MACHINE_FAULTS
+    + HOST_FAULTS
+    + STORE_FAULTS
 )
 
 #: Allowed keys of ``FaultSpec.params`` per kind.
@@ -100,6 +122,7 @@ _PARAM_KEYS: Dict[str, Tuple[str, ...]] = {
     "bandwidth_throttle": ("duration",),
     "thermal_clamp": ("duration", "clamp_mhz"),
     "job_hang": ("seconds",),
+    "clock_skew": ("seconds",),
 }
 
 
@@ -187,6 +210,18 @@ class FaultSpec:
             ):
                 raise FaultError(
                     f"job_hang seconds must be a positive number, "
+                    f"got {seconds!r}"
+                )
+        if self.kind == "clock_skew":
+            seconds = self.params.get("seconds", 30.0)
+            if (
+                not isinstance(seconds, (int, float))
+                or isinstance(seconds, bool)
+                or seconds == 0
+            ):
+                raise FaultError(
+                    f"clock_skew seconds must be a non-zero number "
+                    f"(positive = fast clock, negative = slow), "
                     f"got {seconds!r}"
                 )
 

@@ -215,10 +215,17 @@ def read_live(
     records, _ = read_ledger_records(ledger_path)
     plan_name = "campaign"
     plan_key = None
+    header_jobs: Optional[int] = None
     for record in records:
         if record.get("type") == "header":
             plan_name = record.get("plan_name", plan_name)
             plan_key = record.get("plan_key")
+            # Experiment-store ledgers declare the grid size up front:
+            # store workers claim jobs dynamically, so their per-shard
+            # heartbeat totals describe the whole grid (not a disjoint
+            # shard) and cannot be summed for the campaign total.
+            if isinstance(record.get("jobs"), int):
+                header_jobs = int(record["jobs"])
             break
     else:
         raise ConfigError(
@@ -335,6 +342,8 @@ def read_live(
         status.total = len(terminal) + shard_total
     else:
         status.total = len(terminal)
+    if header_jobs is not None:
+        status.total = header_jobs
 
     status.workers.sort(
         key=lambda w: (w.worker is None, w.worker if w.worker is not None else -1)

@@ -28,10 +28,33 @@ __all__ = [
     "MemorySink",
     "FileSink",
     "atomic_writer",
+    "fsync_dir",
     "write_atomic",
     "write_jsonl",
     "read_jsonl",
 ]
+
+
+def fsync_dir(path: Union[str, Path]) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    ``os.replace`` makes a rename atomic with respect to crashes, but
+    the *directory entry* itself only becomes durable once the parent
+    directory is fsynced — without it a power cut can roll the rename
+    back and resurrect the old file (or nothing at all). Platforms
+    that refuse ``open()`` on directories are tolerated silently; the
+    rename is still atomic there, just not power-loss durable.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
 
 
 @contextmanager
@@ -42,7 +65,8 @@ def atomic_writer(
 
     The handle writes to ``<name>.tmp<pid>`` in the target directory.
     On clean exit the data is flushed, fsynced, and atomically renamed
-    over ``path`` (``os.replace``); on error the temporary file is
+    over ``path`` (``os.replace``), and the parent directory is fsynced
+    so the rename itself is durable; on error the temporary file is
     removed and ``path`` is left exactly as it was. A killed process
     therefore never leaves a truncated file at the final path.
     """
@@ -54,6 +78,7 @@ def atomic_writer(
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
+        fsync_dir(path.parent)
     except BaseException:
         try:
             tmp.unlink()
@@ -175,6 +200,7 @@ class FileSink(TraceSink):
             os.fsync(self._handle.fileno())
             self._handle.close()
             os.replace(self._part_path, self.path)
+            fsync_dir(self.path.parent)
 
 
 def write_jsonl(records: Iterable[Dict], path: Union[str, Path]) -> Path:

@@ -19,7 +19,13 @@ This package is the host-side execution layer that guarantees it:
   together (serial or ``workers=N`` sharded), plus :func:`run_plan`
   behind ``repro suite-run``;
 * :mod:`repro.runner.report` — post-hoc ledger summaries and diffs
-  behind ``repro suite-report``.
+  behind ``repro suite-report``;
+* :mod:`repro.runner.lease` — atomic lease files (claim, renew,
+  reclaim) for cooperating worker processes;
+* :mod:`repro.runner.store` — the multi-host campaign fabric: a shared
+  file-backed experiment store any number of independently-launched
+  ``repro worker`` processes claim jobs from, behind
+  ``repro suite-run --store``.
 
 ``repro faults`` and ``repro experiment`` route their multi-job work
 through the same :class:`SuiteRunner`, so supervision, retries, and
@@ -35,16 +41,30 @@ from repro.runner.executor import (
     format_suite_table,
     run_plan,
 )
+from repro.runner.lease import (
+    DEFAULT_LEASE_TTL_S,
+    Lease,
+    LeaseManager,
+    default_owner,
+)
 from repro.runner.ledger import (
     RunLedger,
+    compact_ledger,
     list_shards,
     merge_shards,
     read_ledger_records,
     read_shard,
     recover_shards,
     shard_path,
+    verify_trailer,
 )
 from repro.runner.plan import CampaignPlan, JobSpec, job_key, table5_plan
+from repro.runner.store import (
+    ExperimentStore,
+    build_schedule,
+    predicted_cost,
+    run_store_worker,
+)
 from repro.runner.supervisor import (
     HostFaultInjector,
     SupervisorConfig,
@@ -60,27 +80,37 @@ from repro.runner.worker import (
 __all__ = [
     "CampaignInterrupted",
     "CampaignPlan",
+    "DEFAULT_LEASE_TTL_S",
+    "ExperimentStore",
     "HostFaultInjector",
     "Job",
     "JobFailure",
     "JobSpec",
+    "Lease",
+    "LeaseManager",
     "PortableJob",
     "RunLedger",
     "SuiteReport",
     "SuiteRunner",
     "SupervisorConfig",
     "build_job",
+    "build_schedule",
     "call_with_deadline",
+    "compact_ledger",
+    "default_owner",
     "format_suite_table",
     "job_key",
     "list_shards",
     "merge_shards",
     "plan_portable_jobs",
+    "predicted_cost",
     "read_ledger_records",
     "read_shard",
     "recover_shards",
     "run_plan",
+    "run_store_worker",
     "run_worker_shard",
     "shard_path",
     "table5_plan",
+    "verify_trailer",
 ]

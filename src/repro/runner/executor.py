@@ -577,6 +577,28 @@ class SuiteRunner:
         return report
 
     # ------------------------------------------------------------------
+    def run_single(self, job: Job, ledger=None) -> dict:
+        """Run one job under this runner's full supervision discipline
+        (deadline, retries, host faults, quarantine) and return its
+        terminal row.
+
+        ``ledger`` optionally substitutes the checkpoint target for
+        this job only — the experiment store passes a per-job group
+        recorder here so a claimed job's records can be published
+        first-wins as one atomic unit instead of streaming into the
+        shared ledger. Any object with the ``job_started`` /
+        ``job_retried`` / ``job_done`` / ``job_quarantined`` ledger
+        methods works.
+        """
+        previous = self.ledger
+        if ledger is not None:
+            self.ledger = ledger
+        try:
+            return self._run_one(job, obs.get_recorder())
+        finally:
+            self.ledger = previous
+
+    # ------------------------------------------------------------------
     @staticmethod
     def _signal_workers(pool) -> None:
         """Forward SIGINT to every live worker process of ``pool``."""

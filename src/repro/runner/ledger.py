@@ -33,6 +33,7 @@ next resume (:func:`recover_shards`) and then deleted.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
@@ -43,7 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigError
 from repro.obs import profile as obs_profile
-from repro.obs.sinks import encode_record
+from repro.obs.sinks import encode_record, fsync_dir
 
 __all__ = [
     "LEDGER_VERSION",
@@ -58,6 +59,8 @@ __all__ = [
     "read_shard",
     "merge_shards",
     "recover_shards",
+    "compact_ledger",
+    "verify_trailer",
 ]
 
 LEDGER_VERSION = 1
@@ -67,7 +70,8 @@ TERMINAL_TYPES = ("done", "quarantined")
 
 #: Volatile record types: provenance/progress only, never job state.
 #: The byte-identical merge drops them and resume ignores them.
-VOLATILE_TYPES = ("merge", "heartbeat")
+#: ``trailer`` is the checksum line :func:`compact_ledger` appends.
+VOLATILE_TYPES = ("merge", "heartbeat", "trailer")
 
 _SHARD_SUFFIX = re.compile(r"\.w(\d+)$")
 
@@ -103,10 +107,19 @@ def read_ledger_records(
     are skipped and counted instead of aborting the load: any record
     that *did* survive intact is still trusted, and a job whose
     terminal row was lost is simply re-run (safe by construction).
+    Unreadable *files* (a directory, a permission wall) raise
+    :class:`~repro.errors.ConfigError` so CLI callers get the one-line
+    ``error:`` funnel instead of a traceback; invalid UTF-8 inside a
+    line (a torn multi-byte character, binary garbage) degrades to a
+    skipped line like any other damage.
     """
     records: List[dict] = []
     skipped = 0
-    with Path(path).open("r", encoding="utf-8") as handle:
+    try:
+        handle = Path(path).open("r", encoding="utf-8", errors="replace")
+    except OSError as exc:
+        raise ConfigError(f"cannot read ledger {path}: {exc}") from exc
+    with handle:
         for line in handle:
             line = line.strip()
             if not line:
@@ -134,6 +147,8 @@ class RunLedger:
         resume: bool = False,
         worker: Optional[int] = None,
         overwrite: bool = False,
+        exclusive: bool = False,
+        header_extra: Optional[Dict[str, object]] = None,
     ) -> None:
         self.path = Path(path)
         self.plan_key = plan_key
@@ -148,19 +163,40 @@ class RunLedger:
         self.n_skipped: int = 0
         if overwrite and self.path.exists():
             self.path.unlink()
-        exists = self.path.exists()
-        if exists and not resume:
-            raise ConfigError(
-                f"ledger {self.path} already exists; pass --resume to "
-                f"continue that campaign or point --ledger elsewhere"
-            )
-        if not exists and resume:
-            raise ConfigError(
-                f"cannot resume: no ledger at {self.path}"
-            )
-        if exists:
-            self._load()
-        self._handle = self.path.open("a", encoding="utf-8")
+        if exclusive:
+            # Store workers race to claim a shard rank: the O_EXCL
+            # create *is* the claim, so the exists-check above would
+            # only narrow the window, not close it.
+            if resume or overwrite:
+                raise ConfigError(
+                    "exclusive ledger creation cannot resume/overwrite"
+                )
+            try:
+                fd = os.open(
+                    os.fspath(self.path),
+                    os.O_WRONLY | os.O_CREAT | os.O_EXCL | os.O_APPEND,
+                    0o644,
+                )
+            except FileExistsError:
+                raise ConfigError(
+                    f"ledger {self.path} already exists"
+                ) from None
+            self._handle = os.fdopen(fd, "a", encoding="utf-8")
+            exists = False
+        else:
+            exists = self.path.exists()
+            if exists and not resume:
+                raise ConfigError(
+                    f"ledger {self.path} already exists; pass --resume to "
+                    f"continue that campaign or point --ledger elsewhere"
+                )
+            if not exists and resume:
+                raise ConfigError(
+                    f"cannot resume: no ledger at {self.path}"
+                )
+            if exists:
+                self._load()
+            self._handle = self.path.open("a", encoding="utf-8")
         if not exists:
             header = {
                 "type": "header",
@@ -170,7 +206,10 @@ class RunLedger:
             }
             if worker is not None:
                 header["worker"] = worker
+            if header_extra:
+                header.update(header_extra)
             self._append(header)
+            fsync_dir(self.path.parent)
 
     # ------------------------------------------------------------------
     def _load(self) -> None:
@@ -337,7 +376,7 @@ def read_shard(
     """
     try:
         records, skipped = read_ledger_records(path)
-    except OSError:
+    except (OSError, ConfigError):
         return None
     shard = ShardData(path=Path(path), worker=None, n_skipped=skipped)
     for record in records:
@@ -454,3 +493,135 @@ def recover_shards(
         except OSError:  # pragma: no cover - best-effort cleanup
             pass
     return stats
+
+
+# ---------------------------------------------------------------------------
+def compact_ledger(
+    path: Union[str, Path], out: Optional[Union[str, Path]] = None
+) -> dict:
+    """Rewrite a ledger to terminal records only, plus a checksum trailer.
+
+    Long-lived stores accumulate ``start``/``retry`` rows, heartbeats,
+    and merge provenance that resume and reporting never need once
+    every job is settled. Compaction keeps the header and the
+    *first* terminal record per key (exactly the rows resume trusts
+    and ``suite-report`` summarizes), in original first-appearance
+    order, and appends a ``trailer`` record carrying the SHA-256 of
+    every preceding byte so later readers can detect truncation or
+    bit rot (:func:`verify_trailer`).
+
+    Before committing, the compacted file is diffed against the
+    original (stable terminal rows, :func:`repro.runner.report.diff_ledgers`)
+    — report byte-identity is an invariant, not a hope. In-place by
+    default; pass ``out`` to write elsewhere and keep the original.
+    Returns a stats dict (records/bytes before and after, dropped
+    record counts by type, the trailer checksum).
+    """
+    path = Path(path)
+    out = path if out is None else Path(out)
+    records, torn = read_ledger_records(path)
+    header: Optional[dict] = None
+    terminals: Dict[str, dict] = {}
+    dropped: Dict[str, int] = {}
+    for record in records:
+        kind = str(record.get("type"))
+        if kind == "header" and header is None:
+            header = record
+            continue
+        if kind in TERMINAL_TYPES:
+            key = record.get("key")
+            if isinstance(key, str) and key not in terminals:
+                terminals[key] = record
+                continue
+        dropped[kind] = dropped.get(kind, 0) + 1
+    if header is None:
+        raise ConfigError(f"{path} is not a run ledger (missing header)")
+    lines = [encode_record(header)]
+    lines.extend(encode_record(record) for record in terminals.values())
+    body = "".join(line + "\n" for line in lines).encode("utf-8")
+    digest = hashlib.sha256(body).hexdigest()
+    trailer = {
+        "type": "trailer",
+        "records": len(lines),
+        "sha256": digest,
+    }
+    bytes_before = path.stat().st_size
+    tmp = out.with_name(f"{out.name}.compact{os.getpid()}")
+    try:
+        with tmp.open("wb") as handle:
+            handle.write(body)
+            handle.write((encode_record(trailer) + "\n").encode("utf-8"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        from repro.runner.report import diff_ledgers  # circular at module load
+
+        diff = diff_ledgers(path, tmp)
+        if not diff["identical"]:  # pragma: no cover - invariant guard
+            raise ConfigError(
+                f"compaction of {path} would change the report; aborting"
+            )
+        os.replace(tmp, out)
+        fsync_dir(out.parent)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
+    return {
+        "path": str(path),
+        "out": str(out),
+        "jobs": len(terminals),
+        "records_before": len(records),
+        "records_after": len(lines) + 1,
+        "bytes_before": bytes_before,
+        "bytes_after": out.stat().st_size,
+        "torn_lines": torn,
+        "dropped": dict(sorted(dropped.items())),
+        "sha256": digest,
+    }
+
+
+def verify_trailer(path: Union[str, Path]) -> dict:
+    """Check a compacted ledger against its checksum trailer.
+
+    Returns ``{"present", "ok", "records", "sha256", "expected"}``:
+    ``present`` is False when the final record is not a trailer (the
+    ledger was never compacted, or was appended to since); ``ok`` is
+    True only when the SHA-256 of every byte before the trailer line
+    and the record count both match what the trailer promised.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise ConfigError(f"cannot read ledger {path}: {exc}") from exc
+    lines = raw.splitlines(keepends=True)
+    index = len(lines) - 1
+    while index >= 0 and not lines[index].strip():
+        index -= 1
+    if index < 0:
+        raise ConfigError(f"{path} is not a run ledger (missing header)")
+    try:
+        last = json.loads(lines[index])
+    except (ValueError, UnicodeDecodeError):
+        last = None
+    if not isinstance(last, dict) or last.get("type") != "trailer":
+        return {
+            "present": False,
+            "ok": False,
+            "records": None,
+            "sha256": None,
+            "expected": None,
+        }
+    body = b"".join(lines[:index])
+    digest = hashlib.sha256(body).hexdigest()
+    n_records = sum(1 for line in lines[:index] if line.strip())
+    expected = last.get("sha256")
+    return {
+        "present": True,
+        "ok": digest == expected and n_records == last.get("records"),
+        "records": n_records,
+        "sha256": digest,
+        "expected": expected,
+    }

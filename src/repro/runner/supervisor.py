@@ -144,7 +144,16 @@ class HostFaultInjector:
     campaign byte-identical to an uninterrupted one.
     """
 
-    def __init__(self, schedule: FaultSchedule) -> None:
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        kinds: Tuple[str, ...] = HOST_FAULTS,
+    ) -> None:
+        """``kinds`` selects which spec kinds this injector interprets
+        — the executor uses the default ``job_*`` set, while the store
+        worker builds a second injector over
+        :data:`~repro.faults.spec.STORE_FAULTS` to reuse the same
+        stateless draw discipline for lease faults."""
         if not isinstance(schedule, FaultSchedule):
             raise FaultError(
                 f"expected a FaultSchedule, got {type(schedule).__name__}"
@@ -153,7 +162,7 @@ class HostFaultInjector:
         self._specs = [
             (index, spec)
             for index, spec in enumerate(schedule.specs)
-            if spec.kind in HOST_FAULTS
+            if spec.kind in kinds
         ]
         #: ``(job_index, kind)`` of every fault fired, for reporting.
         self.injected: List[Tuple[int, str]] = []

@@ -15,6 +15,7 @@ from repro.faults import (
     HOST_FAULTS,
     MACHINE_FAULTS,
     RECONFIG_FAULTS,
+    STORE_FAULTS,
     FaultInjector,
     FaultSchedule,
     FaultSpec,
@@ -44,7 +45,11 @@ def clean_counters(machine, spmspv_trace):
 class TestFaultSpec:
     def test_all_kinds_partitioned(self):
         assert FAULT_KINDS == (
-            COUNTER_FAULTS + RECONFIG_FAULTS + MACHINE_FAULTS + HOST_FAULTS
+            COUNTER_FAULTS
+            + RECONFIG_FAULTS
+            + MACHINE_FAULTS
+            + HOST_FAULTS
+            + STORE_FAULTS
         )
         assert len(set(FAULT_KINDS)) == len(FAULT_KINDS)
 
