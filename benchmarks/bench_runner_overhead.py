@@ -221,9 +221,17 @@ MAX_STORE_OVERHEAD_S = 0.015
 
 def test_store_fabric_overhead(benchmark, emit):
     """The lease-claim/publish/finalize fabric must stay milliseconds
-    per job over the plain supervised runner on the same grid."""
+    per job over the plain supervised runner on the same grid.
+
+    Measured with an (empty-schedule) :class:`IOFaultInjector`
+    installed: every durable write then routes through the active
+    I/O shim, so this floor also guards the shim's own cost — a
+    per-byte wrapper or a lock added to the hot path shows up here.
+    """
     import tempfile as tf
 
+    from repro.faults.io import IOFaultInjector, installed
+    from repro.faults.spec import FaultSchedule
     from repro.runner import (
         ExperimentStore,
         PortableJob,
@@ -253,7 +261,8 @@ def test_store_fabric_overhead(benchmark, emit):
                 name="bench",
                 config=config,
             )
-            summary = run_store_worker(store, poll_s=0.01)
+            with installed(IOFaultInjector(FaultSchedule())):
+                summary = run_store_worker(store, poll_s=0.01)
             assert summary["complete"]
 
     plain_s = best_of(plain, repeats=3)
@@ -263,7 +272,7 @@ def test_store_fabric_overhead(benchmark, emit):
         "\n".join(
             [
                 f"experiment-store fabric overhead ({N_STORE_JOBS} "
-                f"trivial jobs, one worker)",
+                f"trivial jobs, one worker, I/O shim installed)",
                 f"  plain runner:  {plain_s * 1e3:8.3f} ms",
                 f"  store fabric:  {fabric_s * 1e3:8.3f} ms"
                 f"  ({per_job * 1e3:6.3f} ms/job)",

@@ -64,6 +64,15 @@ Commands
     sealed with a checksum trailer — reports stay byte-identical while
     retry/heartbeat churn is dropped. ``--check`` verifies a compacted
     ledger's trailer instead.
+``fsck``
+    Scan an experiment store (or a bare ledger file) for storage
+    damage: torn/corrupt records, result groups failing their sha256
+    trailer, orphan ``*.tmp`` residue, dead leases, and terminal
+    ledger rows whose result group vanished. ``--repair`` quarantines
+    corrupt groups back to open, scavenges residue, and rewrites or
+    rebuilds damaged ledgers so a resumed campaign converges
+    byte-identical. Exits 0 clean / 1 unrepairable / 3 repairable
+    damage found without ``--repair``.
 ``suite-report``
     Summarize a past campaign's run ledger without re-running it (job
     counts, retries, quarantine taxonomy, per-worker timing), or diff
@@ -684,6 +693,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the compaction/verification stats as JSON",
+    )
+
+    fsck = commands.add_parser(
+        "fsck",
+        help="scan (and --repair) an experiment store or ledger for "
+        "storage damage",
+    )
+    fsck.add_argument(
+        "target",
+        help="experiment store directory (holding store.json) or a "
+        "run-ledger JSONL file",
+    )
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="apply repairs: quarantine corrupt result groups back to "
+        "open, scavenge tmp residue, drop dead leases, rewrite or "
+        "rebuild damaged ledgers (assumes no worker is active)",
+    )
+    fsck.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the fsck report as JSON",
     )
 
     top = commands.add_parser(
@@ -1577,6 +1609,33 @@ def _command_ledger_compact(args) -> int:
     return 0
 
 
+def _command_fsck(args) -> int:
+    from repro.runner.fsck import format_fsck_report, run_fsck
+
+    report = run_fsck(args.target, repair=args.repair)
+    if args.json:
+        print(
+            json.dumps(
+                _to_jsonable(report.as_dict()), indent=2, sort_keys=True
+            )
+        )
+    else:
+        print(format_fsck_report(report))
+    code = report.exit_code()
+    if code == 3 and args.json:
+        print(
+            f"error: repairable damage in {args.target}; "
+            "re-run with --repair",
+            file=sys.stderr,
+        )
+    elif code == 1:
+        print(
+            f"error: unrepaired damage in {args.target}",
+            file=sys.stderr,
+        )
+    return code
+
+
 def _command_suite_report(args) -> int:
     from repro.runner.report import (
         diff_ledgers,
@@ -1864,6 +1923,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "suite-run": lambda: _command_suite_run(args),
         "worker": lambda: _command_worker(args),
         "ledger-compact": lambda: _command_ledger_compact(args),
+        "fsck": lambda: _command_fsck(args),
         "suite-report": lambda: _command_suite_report(args),
         "top": lambda: _command_top(args),
         "profile-report": lambda: _command_profile_report(args),

@@ -36,6 +36,18 @@ class FaultError(ReproError):
     """A fault-injection spec, schedule, or campaign request is invalid."""
 
 
+class StorageError(ReproError):
+    """Durable campaign state failed an integrity check.
+
+    Raised when a result group, ledger, or other store artifact is
+    detectably corrupt — a torn record, a checksum-trailer mismatch, a
+    half-written file — rather than merely absent. Absence is normal
+    (the job is simply open); corruption must never be half-read
+    silently. ``repro fsck --repair`` quarantines the damaged artifact
+    so the campaign can re-run it deterministically.
+    """
+
+
 class RetryableError(ReproError):
     """A transient failure; the suite runner may retry the job.
 

@@ -17,6 +17,7 @@ from repro.faults.spec import (
     COUNTER_FAULTS,
     FAULT_KINDS,
     HOST_FAULTS,
+    IO_FAULTS,
     MACHINE_FAULTS,
     RECONFIG_FAULTS,
     STORE_FAULTS,
@@ -30,6 +31,7 @@ __all__ = [
     "COUNTER_FAULTS",
     "FAULT_KINDS",
     "HOST_FAULTS",
+    "IO_FAULTS",
     "MACHINE_FAULTS",
     "RECONFIG_FAULTS",
     "STORE_FAULTS",

@@ -1,0 +1,676 @@
+"""Storage-fault injection: an I/O shim under every durability path.
+
+Every durability-critical I/O operation in the repository — the
+write/fsync/replace steps of :func:`repro.obs.sinks.atomic_writer`,
+directory fsyncs, run-ledger appends and compaction, result-group
+publishing in :mod:`repro.runner.store`, and the lease protocol of
+:mod:`repro.runner.lease` — routes through a process-wide *shim*
+installed here. Three shims exist:
+
+* the default :class:`IOShim` — a validating passthrough whose
+  ``active`` flag is False so hot paths can skip per-write wrapping;
+* :class:`IOFaultInjector` — a seeded, :class:`FaultSchedule`-driven
+  executor for the storage fault kinds (``io_enospc``, ``io_eio``,
+  ``io_torn_write``, ``io_rename_lost``, ``io_fsync_lie``);
+* :class:`CrashPointShim` — crashes *hard* at the N-th shimmed
+  operation, snapshotting the store tree at that instant so the
+  :class:`CrashPointRunner` fuzzer can restore exactly the bytes a
+  SIGKILL would have left (in-process unwinding runs cleanup handlers
+  a real crash would skip; the snapshot undoes them).
+
+Call sites name themselves with a *site* string from :data:`SITES`.
+The shim rejects unknown sites, which is what lets the crash-point
+fuzzer assert — mechanically, not by hand — that it exercised every
+durability call site in the codebase: a site that exists in code but
+not in :data:`SITES` raises at runtime, and a site in :data:`SITES`
+that the fuzz campaign never reaches fails the coverage assertion.
+
+Stdlib-only plus :mod:`repro.errors` and :mod:`repro.faults.spec`;
+call sites in low layers (sinks, lease) import this module lazily at
+call time to keep their import graphs flat.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import shutil
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+    Union,
+)
+
+from repro.errors import FaultError
+from repro.faults.spec import IO_FAULTS, FaultSchedule, FaultSpec
+
+__all__ = [
+    "SITES",
+    "IOShim",
+    "RecordingShim",
+    "CrashPointShim",
+    "IOFaultInjector",
+    "InjectedIOFault",
+    "SimulatedCrash",
+    "CrashPointOutcome",
+    "CrashPointResult",
+    "CrashPointRunner",
+    "get_shim",
+    "install",
+    "installed",
+]
+
+#: Every durability-critical call site routed through the shim. A call
+#: with a site not listed here raises :class:`FaultError` — adding a
+#: new durable write to the codebase therefore *requires* registering
+#: it, and the crash-point fuzzer asserts it covers this exact set.
+SITES: Tuple[str, ...] = (
+    "sinks.atomic.write",
+    "sinks.atomic.fsync",
+    "sinks.atomic.replace",
+    "sinks.dir.fsync",
+    "ledger.append.write",
+    "ledger.append.fsync",
+    "ledger.compact.write",
+    "ledger.compact.fsync",
+    "ledger.compact.replace",
+    "store.publish.write",
+    "store.publish.fsync",
+    "store.publish.link",
+    "lease.claim.write",
+    "lease.renew.write",
+    "lease.renew.replace",
+    "lease.reclaim.rename",
+)
+
+_SITE_SET: FrozenSet[str] = frozenset(SITES)
+
+#: Which shimmed operation each site performs (documentation + test
+#: cross-check; the shim itself keys behavior on the op, not the site).
+SITE_OPS: Dict[str, str] = {
+    "sinks.atomic.write": "write",
+    "sinks.atomic.fsync": "fsync",
+    "sinks.atomic.replace": "replace",
+    "sinks.dir.fsync": "fsync",
+    "ledger.append.write": "write",
+    "ledger.append.fsync": "fsync",
+    "ledger.compact.write": "write",
+    "ledger.compact.fsync": "fsync",
+    "ledger.compact.replace": "replace",
+    "store.publish.write": "write",
+    "store.publish.fsync": "fsync",
+    "store.publish.link": "link",
+    "lease.claim.write": "write",
+    "lease.renew.write": "write",
+    "lease.renew.replace": "replace",
+    "lease.reclaim.rename": "rename",
+}
+
+
+def _check_site(site: str) -> None:
+    if site not in _SITE_SET:
+        raise FaultError(
+            f"unknown I/O shim site {site!r}; register it in "
+            "repro.faults.io.SITES so fault and crash-point coverage "
+            "stay complete"
+        )
+
+
+class IOShim:
+    """Validating passthrough: performs each operation verbatim.
+
+    ``active`` is False only on this default shim; call sites with a
+    per-byte cost (wrapping a file handle around every ``write``) may
+    consult it and skip the wrap entirely, keeping the disabled path
+    at its pre-shim cost. ``fsync``/``replace``/``link``/``rename``
+    are one call per durable artifact and always route through.
+    """
+
+    active: bool = False
+
+    def write(self, handle: TextIO, text: str, site: str) -> None:
+        _check_site(site)
+        handle.write(text)
+
+    def fsync(self, fd: int, site: str) -> None:
+        _check_site(site)
+        os.fsync(fd)
+
+    def replace(
+        self,
+        src: Union[str, Path],
+        dst: Union[str, Path],
+        site: str,
+    ) -> None:
+        _check_site(site)
+        os.replace(src, dst)
+
+    def link(
+        self,
+        src: Union[str, Path],
+        dst: Union[str, Path],
+        site: str,
+    ) -> None:
+        _check_site(site)
+        os.link(src, dst)
+
+    def rename(
+        self,
+        src: Union[str, Path],
+        dst: Union[str, Path],
+        site: str,
+    ) -> None:
+        _check_site(site)
+        os.rename(src, dst)
+
+
+_DEFAULT = IOShim()
+_SHIM: IOShim = _DEFAULT
+
+
+def get_shim() -> IOShim:
+    """The process-wide shim all durability call sites route through."""
+    return _SHIM
+
+
+def install(shim: Optional[IOShim]) -> IOShim:
+    """Install ``shim`` process-wide (None restores the passthrough).
+
+    Returns the previously installed shim so callers can restore it.
+    """
+    global _SHIM
+    previous = _SHIM
+    _SHIM = shim if shim is not None else _DEFAULT
+    return previous
+
+
+@contextmanager
+def installed(shim: IOShim) -> Iterator[IOShim]:
+    """Install ``shim`` for the duration of the block, then restore."""
+    previous = install(shim)
+    try:
+        yield shim
+    finally:
+        install(previous)
+
+
+class SimulatedCrash(BaseException):
+    """A hard crash at a shimmed I/O operation.
+
+    Derives from :class:`BaseException` so job-level ``except
+    Exception`` retry/quarantine machinery never swallows it — a
+    simulated power cut must unwind the whole campaign, exactly like
+    SIGKILL ends the process. Carries the operation, site, global op
+    index, and a byte-level snapshot of the store tree taken at the
+    instant of the crash; the fuzzer restores the snapshot *after*
+    unwinding so cleanup handlers (tmp unlinks, buffered flushes on
+    close) that a real kill would skip are undone.
+    """
+
+    def __init__(
+        self,
+        op: str,
+        site: str,
+        index: int,
+        snapshot: Dict[str, Optional[bytes]],
+    ) -> None:
+        super().__init__(f"simulated crash at op {index} ({op} @ {site})")
+        self.op = op
+        self.site = site
+        self.index = index
+        self.snapshot = snapshot
+
+
+class RecordingShim(IOShim):
+    """Performs every operation and records the (op, site) trace.
+
+    The trace enumerates the crash points of a campaign: the fuzzer
+    runs once under this shim to learn how many shimmed operations a
+    clean run performs and which sites they hit.
+    """
+
+    active = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.ops: List[Tuple[str, str]] = []
+        self.sites_seen: set = set()
+
+    def _record(self, op: str, site: str) -> None:
+        with self._lock:
+            self.ops.append((op, site))
+            self.sites_seen.add(site)
+
+    def write(self, handle: TextIO, text: str, site: str) -> None:
+        self._record("write", site)
+        super().write(handle, text, site)
+
+    def fsync(self, fd: int, site: str) -> None:
+        self._record("fsync", site)
+        super().fsync(fd, site)
+
+    def replace(self, src, dst, site: str) -> None:
+        self._record("replace", site)
+        super().replace(src, dst, site)
+
+    def link(self, src, dst, site: str) -> None:
+        self._record("link", site)
+        super().link(src, dst, site)
+
+    def rename(self, src, dst, site: str) -> None:
+        self._record("rename", site)
+        super().rename(src, dst, site)
+
+
+def _snapshot_tree(root: Union[str, Path]) -> Dict[str, Optional[bytes]]:
+    """Byte-level snapshot of every file and directory under ``root``.
+
+    Maps relative paths to file bytes (None for directories). Taken at
+    the instant of a simulated crash so the tree can be restored after
+    Python's orderly unwinding has run cleanup a real crash would skip.
+    """
+    root = Path(root)
+    snapshot: Dict[str, Optional[bytes]] = {}
+    for dirpath, dirnames, filenames in os.walk(root):
+        base = Path(dirpath)
+        for name in dirnames:
+            snapshot[os.path.relpath(base / name, root)] = None
+        for name in filenames:
+            path = base / name
+            try:
+                snapshot[os.path.relpath(path, root)] = path.read_bytes()
+            except OSError:  # pragma: no cover - racing unlink
+                pass
+    return snapshot
+
+
+def _restore_tree(
+    root: Union[str, Path], snapshot: Dict[str, Optional[bytes]]
+) -> None:
+    """Reset ``root`` to exactly the snapshotted files and bytes."""
+    root = Path(root)
+    if root.exists():
+        shutil.rmtree(root)
+    root.mkdir(parents=True)
+    for rel in sorted(snapshot):
+        path = root / rel
+        data = snapshot[rel]
+        if data is None:
+            path.mkdir(parents=True, exist_ok=True)
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(data)
+
+
+class CrashPointShim(IOShim):
+    """Crashes hard at the ``crash_at``-th shimmed operation.
+
+    ``variant`` selects what the dying operation leaves behind:
+
+    * ``"after"`` — the operation completes (writes are flushed to the
+      OS) and the process dies immediately afterwards;
+    * ``"torn"`` — a write persists only a prefix of its record before
+      the process dies (non-write operations fall back to ``after``).
+
+    The crash is a :class:`SimulatedCrash` carrying a snapshot of
+    ``root`` taken at the moment of death.
+    """
+
+    active = True
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        crash_at: int,
+        variant: str = "after",
+    ) -> None:
+        if variant not in ("after", "torn"):
+            raise FaultError(
+                f"unknown crash variant {variant!r} "
+                "(expected 'after' or 'torn')"
+            )
+        self.root = Path(root)
+        self.crash_at = int(crash_at)
+        self.variant = variant
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def _tick(self) -> Tuple[int, bool]:
+        with self._lock:
+            index = self._count
+            self._count += 1
+            return index, index == self.crash_at
+
+    def _crash(self, op: str, site: str, index: int) -> None:
+        raise SimulatedCrash(op, site, index, _snapshot_tree(self.root))
+
+    def write(self, handle: TextIO, text: str, site: str) -> None:
+        _check_site(site)
+        index, crash = self._tick()
+        if not crash:
+            handle.write(text)
+            return
+        if self.variant == "torn" and text:
+            handle.write(text[: max(1, len(text) // 2)])
+        else:
+            handle.write(text)
+        try:
+            handle.flush()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        self._crash("write", site, index)
+
+    def fsync(self, fd: int, site: str) -> None:
+        _check_site(site)
+        index, crash = self._tick()
+        os.fsync(fd)
+        if crash:
+            self._crash("fsync", site, index)
+
+    def replace(self, src, dst, site: str) -> None:
+        _check_site(site)
+        index, crash = self._tick()
+        os.replace(src, dst)
+        if crash:
+            self._crash("replace", site, index)
+
+    def link(self, src, dst, site: str) -> None:
+        _check_site(site)
+        index, crash = self._tick()
+        os.link(src, dst)
+        if crash:
+            self._crash("link", site, index)
+
+    def rename(self, src, dst, site: str) -> None:
+        _check_site(site)
+        index, crash = self._tick()
+        os.rename(src, dst)
+        if crash:
+            self._crash("rename", site, index)
+
+
+@dataclass(frozen=True)
+class InjectedIOFault:
+    """One storage fault the injector fired (for reports and tests)."""
+
+    kind: str
+    op: str
+    site: str
+    index: int
+
+
+#: Which fault kinds can fire on which shimmed operation.
+_OP_KINDS: Dict[str, Tuple[str, ...]] = {
+    "write": ("io_enospc", "io_eio", "io_torn_write"),
+    "fsync": ("io_fsync_lie", "io_eio"),
+    "replace": ("io_rename_lost", "io_eio"),
+    "link": ("io_rename_lost", "io_eio"),
+    "rename": ("io_rename_lost", "io_eio"),
+}
+
+
+class IOFaultInjector(IOShim):
+    """Seeded, schedule-driven executor for the ``io_*`` fault kinds.
+
+    Mirrors the discipline of :class:`repro.faults.injector.
+    FaultInjector`: each spec gets its own RNG stream derived from the
+    schedule seed and the spec's position (or the spec's pinned
+    ``seed``), the global shimmed-operation index plays the role of
+    the epoch for ``start_epoch``/``end_epoch`` windows, a draw is
+    consumed per applicable operation per spec, and ``rate >= 1.0``
+    fires without consuming a draw. Non-``io_*`` specs in the schedule
+    are ignored, so one mixed schedule can drive every layer at once.
+
+    Fault behaviors:
+
+    * ``io_enospc`` / ``io_eio`` — raise :class:`OSError` with the
+      matching errno before the operation happens;
+    * ``io_torn_write`` — persist a seeded prefix of the record, then
+      raise ``EIO``;
+    * ``io_rename_lost`` — silently skip the replace/link/rename (the
+      caller believes it succeeded; the directory entry never lands);
+    * ``io_fsync_lie`` — silently skip the fsync (durability promised
+      but not delivered).
+    """
+
+    active = True
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        if not isinstance(schedule, FaultSchedule):
+            raise FaultError(
+                "IOFaultInjector needs a FaultSchedule, got "
+                f"{type(schedule).__name__}"
+            )
+        self.schedule = schedule
+        self._lock = threading.Lock()
+        self._index = 0
+        self.fired: List[InjectedIOFault] = []
+        self.counts: Dict[str, int] = {}
+        self._streams: List[Tuple[FaultSpec, random.Random]] = []
+        for position, spec in enumerate(schedule.specs):
+            if spec.kind not in IO_FAULTS:
+                continue
+            seed = (
+                spec.seed
+                if spec.seed is not None
+                else schedule.seed * 1_000_003 + position
+            )
+            self._streams.append((spec, random.Random(seed)))
+
+    def _fire(
+        self, op: str, site: str
+    ) -> Tuple[int, Optional[FaultSpec], Optional[random.Random]]:
+        """Advance the op index; return the first spec that fires."""
+        with self._lock:
+            index = self._index
+            self._index += 1
+            for spec, rng in self._streams:
+                if spec.kind not in _OP_KINDS[op]:
+                    continue
+                if not spec.applies_to(index):
+                    continue
+                if spec.rate >= 1.0:
+                    fires = True
+                else:
+                    fires = rng.random() < spec.rate
+                if fires:
+                    self.fired.append(
+                        InjectedIOFault(spec.kind, op, site, index)
+                    )
+                    self.counts[spec.kind] = self.counts.get(spec.kind, 0) + 1
+                    return index, spec, rng
+            return index, None, None
+
+    def write(self, handle: TextIO, text: str, site: str) -> None:
+        _check_site(site)
+        index, spec, rng = self._fire("write", site)
+        if spec is None:
+            handle.write(text)
+            return
+        if spec.kind == "io_enospc":
+            raise OSError(
+                errno.ENOSPC, f"injected ENOSPC at {site} (op {index})"
+            )
+        if spec.kind == "io_eio":
+            raise OSError(errno.EIO, f"injected EIO at {site} (op {index})")
+        # io_torn_write: persist a seeded prefix, then fail the write.
+        assert rng is not None
+        cut = rng.randrange(0, max(1, len(text)))
+        if cut:
+            handle.write(text[:cut])
+            try:
+                handle.flush()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        raise OSError(
+            errno.EIO, f"injected torn write at {site} (op {index})"
+        )
+
+    def fsync(self, fd: int, site: str) -> None:
+        _check_site(site)
+        index, spec, _rng = self._fire("fsync", site)
+        if spec is None:
+            os.fsync(fd)
+            return
+        if spec.kind == "io_eio":
+            raise OSError(errno.EIO, f"injected EIO at {site} (op {index})")
+        # io_fsync_lie: report success without syncing.
+
+    def _entry_op(self, op: str, perform: Callable[[], None], site: str) -> None:
+        _check_site(site)
+        index, spec, _rng = self._fire(op, site)
+        if spec is None:
+            perform()
+            return
+        if spec.kind == "io_eio":
+            raise OSError(errno.EIO, f"injected EIO at {site} (op {index})")
+        # io_rename_lost: the directory entry silently never lands.
+
+    def replace(self, src, dst, site: str) -> None:
+        self._entry_op("replace", lambda: os.replace(src, dst), site)
+
+    def link(self, src, dst, site: str) -> None:
+        self._entry_op("link", lambda: os.link(src, dst), site)
+
+    def rename(self, src, dst, site: str) -> None:
+        self._entry_op("rename", lambda: os.rename(src, dst), site)
+
+
+@dataclass(frozen=True)
+class CrashPointOutcome:
+    """One crash point's verdict: did resume converge byte-identically?"""
+
+    index: int
+    variant: str
+    op: str
+    site: str
+    crashed: bool
+    identical: bool
+    detail: str = ""
+
+
+@dataclass
+class CrashPointResult:
+    """Everything a fuzzing sweep learned about a campaign."""
+
+    ops: List[Tuple[str, str]]
+    sites_covered: FrozenSet[str]
+    outcomes: List[CrashPointOutcome] = field(default_factory=list)
+
+    @property
+    def all_identical(self) -> bool:
+        return all(o.identical for o in self.outcomes)
+
+    def failures(self) -> List[CrashPointOutcome]:
+        return [o for o in self.outcomes if not o.identical]
+
+
+class CrashPointRunner:
+    """Enumerate every shimmed operation of a campaign and crash there.
+
+    ``campaign(root)`` runs the campaign under ``root`` from whatever
+    state ``root`` holds (fresh or mid-crash — i.e. it must be the
+    resumable entry point); ``report(root)`` returns the path of the
+    finalized report whose bytes define convergence; ``repair(root)``
+    (optional) is invoked between crash and resume — typically
+    ``repro fsck --repair`` — and must be a no-op on a clean store;
+    ``resume`` defaults to ``campaign``.
+
+    :meth:`run` first executes one clean campaign under a
+    :class:`RecordingShim` to learn the operation trace and reference
+    report bytes, then for every operation index replays the campaign
+    in a fresh directory under a :class:`CrashPointShim`, restores the
+    crash snapshot after unwinding, repairs, resumes with the shim
+    uninstalled, and compares the report byte-for-byte. Write
+    operations are fuzzed twice — crash-after and torn-prefix.
+    """
+
+    def __init__(
+        self,
+        campaign: Callable[[Path], None],
+        report: Callable[[Path], Path],
+        repair: Optional[Callable[[Path], None]] = None,
+        resume: Optional[Callable[[Path], None]] = None,
+    ) -> None:
+        self.campaign = campaign
+        self.report = report
+        self.repair = repair
+        self.resume = resume or campaign
+
+    def baseline(
+        self, root: Union[str, Path]
+    ) -> Tuple[List[Tuple[str, str]], FrozenSet[str], bytes]:
+        """One clean run: the op trace, sites seen, and report bytes."""
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        shim = RecordingShim()
+        with installed(shim):
+            self.campaign(root)
+        reference = Path(self.report(root)).read_bytes()
+        return list(shim.ops), frozenset(shim.sites_seen), reference
+
+    def _points(
+        self, ops: Sequence[Tuple[str, str]]
+    ) -> List[Tuple[int, str]]:
+        points: List[Tuple[int, str]] = []
+        for index, (op, _site) in enumerate(ops):
+            points.append((index, "after"))
+            if op == "write":
+                points.append((index, "torn"))
+        return points
+
+    def run(
+        self,
+        base_dir: Union[str, Path],
+        points: Optional[Sequence[Tuple[int, str]]] = None,
+    ) -> CrashPointResult:
+        """Fuzz every crash point (or the given subset) of the campaign."""
+        base_dir = Path(base_dir)
+        base_dir.mkdir(parents=True, exist_ok=True)
+        ops, sites, reference = self.baseline(base_dir / "clean")
+        result = CrashPointResult(ops=ops, sites_covered=sites)
+        if points is None:
+            points = self._points(ops)
+        for index, variant in points:
+            root = base_dir / f"cp{index:04d}{variant[0]}"
+            root.mkdir(parents=True, exist_ok=True)
+            shim = CrashPointShim(root, crash_at=index, variant=variant)
+            crashed = False
+            op, site = ops[index] if index < len(ops) else ("?", "?")
+            try:
+                with installed(shim):
+                    self.campaign(root)
+            except SimulatedCrash as crash:
+                crashed = True
+                op, site = crash.op, crash.site
+                _restore_tree(root, crash.snapshot)
+            if self.repair is not None:
+                self.repair(root)
+            if crashed:
+                self.resume(root)
+            actual = Path(self.report(root)).read_bytes()
+            identical = actual == reference
+            result.outcomes.append(
+                CrashPointOutcome(
+                    index=index,
+                    variant=variant,
+                    op=op,
+                    site=site,
+                    crashed=crashed,
+                    identical=identical,
+                    detail="" if identical else "report diverged",
+                )
+            )
+        return result

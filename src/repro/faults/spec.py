@@ -54,15 +54,34 @@ Kind                   Effect when it fires
                        negative), so the lease deadlines it writes and
                        reads disagree with its peers' — exercising early
                        reclaim and double-run harmlessness.
+``io_enospc``          Storage-level: a durability-critical write fails
+                       with ``ENOSPC`` (the disk filled up mid-campaign).
+``io_eio``             Storage-level: a durability-critical write, fsync,
+                       or rename fails with ``EIO`` (a dying disk or a
+                       flaky network mount).
+``io_torn_write``      Storage-level: a write persists only a prefix of
+                       its record before failing — the torn line a crash
+                       or torn page leaves behind; readers must skip or
+                       quarantine it, never half-read it.
+``io_rename_lost``     Storage-level: an ``os.replace``/``os.link``/
+                       ``os.rename`` silently does not take effect (a
+                       power cut rolled back the non-durable rename);
+                       the temporary file is left as an orphan.
+``io_fsync_lie``       Storage-level: ``fsync`` reports success without
+                       syncing (lying volatile write caches), so code
+                       must never treat an fsync return as proof beyond
+                       what a checksum can verify.
 =====================  ====================================================
 
 The ``job_*`` kinds are interpreted by :mod:`repro.runner`, not by
 the :class:`~repro.faults.injector.FaultInjector` — their window and
 rate apply per campaign *job attempt* instead of per epoch. The
 fabric kinds (``lease_lost``/``clock_skew``) are interpreted by
-:mod:`repro.runner.store` workers, per claimed job. A schedule may mix
-host-level, fabric-level, and hardware kinds; each layer consumes its
-own.
+:mod:`repro.runner.store` workers, per claimed job. The storage kinds
+(``io_*``) are interpreted by the :class:`repro.faults.io` shim, per
+durability-critical I/O operation. A schedule may mix host-level,
+fabric-level, storage-level, and hardware kinds; each layer consumes
+its own.
 
 ``rate`` is the per-epoch probability that a spec fires inside its
 ``[start_epoch, end_epoch)`` window; a rate of 1.0 fires every epoch
@@ -85,6 +104,7 @@ __all__ = [
     "MACHINE_FAULTS",
     "HOST_FAULTS",
     "STORE_FAULTS",
+    "IO_FAULTS",
     "FAULT_KINDS",
     "FaultSpec",
     "FaultSchedule",
@@ -106,6 +126,15 @@ HOST_FAULTS: Tuple[str, ...] = ("job_hang", "job_crash", "job_oom")
 #: ``repro.runner.store`` workers (kept out of ``HOST_FAULTS`` so the
 #: supervisor's injector never mistakes a lease fault for a job crash).
 STORE_FAULTS: Tuple[str, ...] = ("lease_lost", "clock_skew")
+#: Storage-level kinds, interpreted per durability-critical I/O
+#: operation by the :mod:`repro.faults.io` shim.
+IO_FAULTS: Tuple[str, ...] = (
+    "io_enospc",
+    "io_eio",
+    "io_torn_write",
+    "io_rename_lost",
+    "io_fsync_lie",
+)
 
 #: Every fault kind the framework understands (hardware + host level).
 FAULT_KINDS: Tuple[str, ...] = (
@@ -114,6 +143,7 @@ FAULT_KINDS: Tuple[str, ...] = (
     + MACHINE_FAULTS
     + HOST_FAULTS
     + STORE_FAULTS
+    + IO_FAULTS
 )
 
 #: Allowed keys of ``FaultSpec.params`` per kind.

@@ -13,8 +13,10 @@ other layer of the repository and must not pull the numeric stack in.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
+import warnings
 from collections import deque
 from contextlib import contextmanager
 from pathlib import Path
@@ -34,6 +36,46 @@ __all__ = [
     "read_jsonl",
 ]
 
+_io_shim_module = None
+
+
+def _io_shim():
+    """The installed storage-fault shim (imported lazily).
+
+    This module sits below nearly everything else; importing
+    ``repro.faults`` at module scope would create a cycle, so the shim
+    module is resolved on first use and cached.
+    """
+    global _io_shim_module
+    if _io_shim_module is None:
+        from repro.faults import io as _faults_io
+
+        _io_shim_module = _faults_io
+    return _io_shim_module.get_shim()
+
+
+#: One-shot latch: the filesystem rejected directory fsync entirely
+#: (EINVAL/ENOTSUP — overlay and some network mounts). Once tripped,
+#: further directory fsyncs are skipped instead of re-failing.
+_dir_fsync_unsupported = False
+
+
+def _reset_dir_fsync_latch() -> None:
+    """Re-arm directory fsync (test hook)."""
+    global _dir_fsync_unsupported
+    _dir_fsync_unsupported = False
+
+
+_FSYNC_UNSUPPORTED_ERRNOS = tuple(
+    code
+    for code in (
+        errno.EINVAL,
+        getattr(errno, "ENOTSUP", None),
+        getattr(errno, "EOPNOTSUPP", None),
+    )
+    if code is not None
+)
+
 
 def fsync_dir(path: Union[str, Path]) -> None:
     """fsync a directory so a just-renamed entry survives power loss.
@@ -42,19 +84,55 @@ def fsync_dir(path: Union[str, Path]) -> None:
     the *directory entry* itself only becomes durable once the parent
     directory is fsynced — without it a power cut can roll the rename
     back and resurrect the old file (or nothing at all). Platforms
-    that refuse ``open()`` on directories are tolerated silently; the
-    rename is still atomic there, just not power-loss durable.
+    that refuse ``open()`` on directories are tolerated silently, and
+    filesystems that reject directory fsync outright (EINVAL/ENOTSUP,
+    e.g. some overlay or network mounts) degrade to a one-shot warning
+    instead of killing the campaign; the rename is still atomic there,
+    just not power-loss durable.
     """
+    global _dir_fsync_unsupported
+    if _dir_fsync_unsupported:
+        return
     try:
         fd = os.open(os.fspath(path), os.O_RDONLY)
     except OSError:  # pragma: no cover - platform-dependent
         return
     try:
-        os.fsync(fd)
-    except OSError:  # pragma: no cover - platform-dependent
-        pass
+        _io_shim().fsync(fd, site="sinks.dir.fsync")
+    except OSError as exc:
+        if exc.errno in _FSYNC_UNSUPPORTED_ERRNOS:
+            _dir_fsync_unsupported = True
+            warnings.warn(
+                "directory fsync is unsupported on this filesystem "
+                f"({os.fspath(path)}: {exc.strerror or exc}); renames "
+                "stay atomic but are not power-loss durable — "
+                "skipping further directory fsyncs",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            raise
     finally:
         os.close(fd)
+
+
+class _ShimWriter:
+    """File-handle proxy routing ``write`` through the installed shim.
+
+    Only wrapped around :func:`atomic_writer` handles while a fault or
+    crash-point shim is active — the default path hands callers the
+    raw handle, so the disabled-shim cost stays zero per byte.
+    """
+
+    def __init__(self, handle: TextIO, site: str) -> None:
+        self._handle = handle
+        self._site = site
+
+    def write(self, text: str) -> None:
+        _io_shim().write(self._handle, text, site=self._site)
+
+    def __getattr__(self, name: str):
+        return getattr(self._handle, name)
 
 
 @contextmanager
@@ -72,12 +150,16 @@ def atomic_writer(
     """
     path = Path(path)
     tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    shim = _io_shim()
     try:
         with tmp.open("w", encoding=encoding) as handle:
-            yield handle
+            if shim.active:
+                yield _ShimWriter(handle, "sinks.atomic.write")  # type: ignore[misc]
+            else:
+                yield handle
             handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
+            shim.fsync(handle.fileno(), site="sinks.atomic.fsync")
+        shim.replace(tmp, path, site="sinks.atomic.replace")
         fsync_dir(path.parent)
     except BaseException:
         try:

@@ -25,7 +25,10 @@ This package is the host-side execution layer that guarantees it:
 * :mod:`repro.runner.store` — the multi-host campaign fabric: a shared
   file-backed experiment store any number of independently-launched
   ``repro worker`` processes claim jobs from, behind
-  ``repro suite-run --store``.
+  ``repro suite-run --store``;
+* :mod:`repro.runner.fsck` — the ``repro fsck`` scanner/repairer for
+  store trees and ledgers (torn records, trailer mismatches, orphan
+  tmp files, dead leases, missing result groups).
 
 ``repro faults`` and ``repro experiment`` route their multi-job work
 through the same :class:`SuiteRunner`, so supervision, retries, and
@@ -58,6 +61,12 @@ from repro.runner.ledger import (
     shard_path,
     verify_trailer,
 )
+from repro.runner.fsck import (
+    Finding,
+    FsckReport,
+    format_fsck_report,
+    run_fsck,
+)
 from repro.runner.plan import CampaignPlan, JobSpec, job_key, table5_plan
 from repro.runner.store import (
     ExperimentStore,
@@ -82,6 +91,8 @@ __all__ = [
     "CampaignPlan",
     "DEFAULT_LEASE_TTL_S",
     "ExperimentStore",
+    "Finding",
+    "FsckReport",
     "HostFaultInjector",
     "Job",
     "JobFailure",
@@ -98,6 +109,7 @@ __all__ = [
     "call_with_deadline",
     "compact_ledger",
     "default_owner",
+    "format_fsck_report",
     "format_suite_table",
     "job_key",
     "list_shards",
@@ -107,6 +119,7 @@ __all__ = [
     "read_ledger_records",
     "read_shard",
     "recover_shards",
+    "run_fsck",
     "run_plan",
     "run_store_worker",
     "run_worker_shard",

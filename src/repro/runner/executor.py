@@ -764,6 +764,20 @@ def run_plan(
         )
         key_order = [spec.key() for spec in plan.jobs]
         if resume:
+            if ledger.n_skipped:
+                # Torn lines in the canonical ledger are tolerated on
+                # load (the damaged jobs simply re-run), but surfaced:
+                # persistent damage is what `repro fsck` diagnoses.
+                obs.get_recorder().event(
+                    "runner.ledger.torn",
+                    path=str(ledger.path),
+                    skipped=ledger.n_skipped,
+                    hint="run `repro fsck` on this ledger",
+                )
+                obs.metrics.counter(
+                    "runner.ledger.torn_lines",
+                    "damaged ledger lines skipped on resume",
+                ).inc(ledger.n_skipped)
             # A killed parallel run may have left worker shards behind:
             # fold every terminal row they fsynced into the canonical
             # ledger so only genuinely unfinished jobs re-run.

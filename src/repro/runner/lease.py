@@ -47,6 +47,19 @@ __all__ = [
     "default_owner",
 ]
 
+_io_shim_module = None
+
+
+def _io_shim():
+    """The installed storage-fault shim (lazy import: this module sits
+    below the faults package and must stay stdlib-importable)."""
+    global _io_shim_module
+    if _io_shim_module is None:
+        from repro.faults import io as _faults_io
+
+        _io_shim_module = _faults_io
+    return _io_shim_module.get_shim()
+
 DEFAULT_LEASE_TTL_S = 30.0
 
 
@@ -197,7 +210,11 @@ class LeaseManager:
         except FileExistsError:
             return None
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(lease.as_dict(), handle)
+            _io_shim().write(
+                handle,
+                json.dumps(lease.as_dict()),
+                site="lease.claim.write",
+            )
         return lease
 
     # -- renew ------------------------------------------------------------
@@ -221,9 +238,14 @@ class LeaseManager:
         )
         path = self.path(lease.key)
         tmp = path.with_name(f"{path.name}.renew{os.getpid()}")
+        shim = _io_shim()
         with tmp.open("w", encoding="utf-8") as handle:
-            json.dump(renewed.as_dict(), handle)
-        os.replace(tmp, path)
+            shim.write(
+                handle,
+                json.dumps(renewed.as_dict()),
+                site="lease.renew.write",
+            )
+        shim.replace(tmp, path, site="lease.renew.replace")
         # Post-replace check: a reclaimer may have renamed the file
         # away between our read and our replace, in which case our
         # replace just resurrected a lease the reclaimer believes it
@@ -268,7 +290,7 @@ class LeaseManager:
             f"{path.name}.reclaim-{os.getpid()}-{os.urandom(4).hex()}"
         )
         try:
-            os.rename(path, tomb)
+            _io_shim().rename(path, tomb, site="lease.reclaim.rename")
         except OSError:
             return None  # another reclaimer (or a release) beat us
         try:

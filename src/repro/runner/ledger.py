@@ -46,6 +46,19 @@ from repro.errors import ConfigError
 from repro.obs import profile as obs_profile
 from repro.obs.sinks import encode_record, fsync_dir
 
+_io_shim_module = None
+
+
+def _io_shim():
+    """The installed storage-fault shim (lazy import; avoids a cycle
+    through ``repro.faults.__init__``)."""
+    global _io_shim_module
+    if _io_shim_module is None:
+        from repro.faults import io as _faults_io
+
+        _io_shim_module = _faults_io
+    return _io_shim_module.get_shim()
+
 __all__ = [
     "LEDGER_VERSION",
     "TERMINAL_TYPES",
@@ -245,11 +258,23 @@ class RunLedger:
         ]
 
     def _append(self, record: dict) -> None:
-        """One durable line: write, flush, fsync."""
+        """One durable line: write, flush, fsync.
+
+        Routed through the storage-fault shim so disk chaos campaigns
+        and the crash-point fuzzer can interpose on every durable
+        append. Heartbeats stay unshimmed: they are volatile,
+        flush-only, and emitted on renewal-thread timing, which would
+        make crash-point operation counts nondeterministic.
+        """
         with obs_profile.span("ledger_io"):
-            self._handle.write(encode_record(record) + "\n")
+            shim = _io_shim()
+            shim.write(
+                self._handle,
+                encode_record(record) + "\n",
+                site="ledger.append.write",
+            )
             self._handle.flush()
-            os.fsync(self._handle.fileno())
+            shim.fsync(self._handle.fileno(), site="ledger.append.fsync")
 
     # ------------------------------------------------------------------
     def job_started(self, key: str, index: int, attempt: int) -> None:
@@ -547,12 +572,17 @@ def compact_ledger(
     }
     bytes_before = path.stat().st_size
     tmp = out.with_name(f"{out.name}.compact{os.getpid()}")
+    shim = _io_shim()
     try:
         with tmp.open("wb") as handle:
-            handle.write(body)
-            handle.write((encode_record(trailer) + "\n").encode("utf-8"))
+            shim.write(handle, body, site="ledger.compact.write")
+            shim.write(
+                handle,
+                (encode_record(trailer) + "\n").encode("utf-8"),
+                site="ledger.compact.write",
+            )
             handle.flush()
-            os.fsync(handle.fileno())
+            shim.fsync(handle.fileno(), site="ledger.compact.fsync")
         from repro.runner.report import diff_ledgers  # circular at module load
 
         diff = diff_ledgers(path, tmp)
@@ -560,7 +590,7 @@ def compact_ledger(
             raise ConfigError(
                 f"compaction of {path} would change the report; aborting"
             )
-        os.replace(tmp, out)
+        shim.replace(tmp, out, site="ledger.compact.replace")
         fsync_dir(out.parent)
     except BaseException:
         try:

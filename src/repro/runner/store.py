@@ -55,8 +55,10 @@ clean run quarantined, the fault sweep is published as a deterministic
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import re
 import threading
 import time
 from dataclasses import asdict, dataclass
@@ -64,8 +66,9 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro import obs
-from repro.errors import ConfigError, ReproError
-from repro.faults.spec import STORE_FAULTS, FaultSchedule
+from repro.errors import ConfigError, ReproError, StorageError
+from repro.faults import io as faults_io
+from repro.faults.spec import IO_FAULTS, STORE_FAULTS, FaultSchedule
 from repro.obs.sinks import encode_record, fsync_dir
 from repro.runner.lease import (
     DEFAULT_LEASE_TTL_S,
@@ -187,6 +190,14 @@ def build_schedule(jobs: Sequence[PortableJob]) -> List[ScheduleEntry]:
 # ---------------------------------------------------------------------------
 # First-wins file publishing
 # ---------------------------------------------------------------------------
+#: Crashed-write residue: tmp siblings of atomic writes and publishes,
+#: compaction scratch, lease renewal tmp files, reclaim tombstones.
+_RESIDUE_RE = re.compile(
+    r"\.(?:tmp\d+(?:-[0-9a-f]+)?|compact\d+|renew\d+|reclaim-\d+-[0-9a-f]+)$"
+)
+
+
+
 def _publish_file(path: Path, text: str) -> bool:
     """Publish ``text`` at ``path`` atomically, first writer wins.
 
@@ -200,12 +211,13 @@ def _publish_file(path: Path, text: str) -> bool:
     tmp = path.with_name(
         f"{path.name}.tmp{os.getpid()}-{os.urandom(4).hex()}"
     )
+    shim = faults_io.get_shim()
     with tmp.open("w", encoding="utf-8") as handle:
-        handle.write(text)
+        shim.write(handle, text, site="store.publish.write")
         handle.flush()
-        os.fsync(handle.fileno())
+        shim.fsync(handle.fileno(), site="store.publish.fsync")
     try:
-        os.link(tmp, path)
+        shim.link(tmp, path, site="store.publish.link")
         won = True
     except FileExistsError:
         won = False
@@ -497,16 +509,57 @@ class ExperimentStore:
         return self.result_path(key).exists()
 
     def read_result(self, key: str) -> Optional[List[dict]]:
-        """The published record group of one job, or None if open."""
+        """The published record group of one job, or None if open.
+
+        Strict by design: a group that exists but is damaged — torn
+        mid-record, missing its final newline, or failing its sha256
+        trailer — raises :class:`~repro.errors.StorageError` instead
+        of returning a silently half-read group. ``repro fsck
+        --repair`` quarantines such groups back to open. Groups
+        published before trailers existed (no trailing ``trailer``
+        record) are accepted unverified. The trailer is stripped from
+        the returned records; callers only ever see job records.
+        """
+        path = self.result_path(key)
         try:
-            text = self.result_path(key).read_text(encoding="utf-8")
+            text = path.read_text(encoding="utf-8")
         except OSError:
             return None
-        records = []
-        for line in text.splitlines():
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+        if not text.endswith("\n"):
+            raise StorageError(
+                f"result group {path} is torn (no trailing newline); "
+                "run `repro fsck --repair` to quarantine it"
+            )
+        raw_lines = [
+            line for line in text.splitlines(keepends=True) if line.strip()
+        ]
+        records: List[dict] = []
+        for raw in raw_lines:
+            try:
+                record = json.loads(raw)
+            except ValueError as exc:
+                raise StorageError(
+                    f"result group {path} holds an undecodable record "
+                    f"({exc}); run `repro fsck --repair` to quarantine it"
+                ) from exc
+            if not isinstance(record, dict):
+                raise StorageError(
+                    f"result group {path} holds a non-record line; "
+                    "run `repro fsck --repair` to quarantine it"
+                )
+            records.append(record)
+        if records and records[-1].get("type") == "trailer":
+            trailer = records.pop()
+            body = "".join(raw_lines[:-1]).encode("utf-8")
+            digest = hashlib.sha256(body).hexdigest()
+            if (
+                trailer.get("sha256") != digest
+                or trailer.get("records") != len(records)
+            ):
+                raise StorageError(
+                    f"result group {path} fails its sha256 trailer; "
+                    "run `repro fsck --repair` to quarantine it"
+                )
         return records
 
     def terminal_row(self, key: str) -> Optional[dict]:
@@ -519,10 +572,21 @@ class ExperimentStore:
         return None
 
     def publish(self, key: str, records: Sequence[dict]) -> bool:
-        """Publish one job's whole record group, first writer wins."""
+        """Publish one job's whole record group, first writer wins.
+
+        A ``trailer`` record carrying the SHA-256 of the group body is
+        appended so :meth:`read_result` (and ``repro fsck``) can tell
+        a torn or bit-rotted group from an intact one.
+        """
         if not records:
             raise ReproError(f"refusing to publish empty group for {key}")
-        text = "".join(encode_record(record) + "\n" for record in records)
+        body = "".join(encode_record(record) + "\n" for record in records)
+        trailer = {
+            "type": "trailer",
+            "records": len(records),
+            "sha256": hashlib.sha256(body.encode("utf-8")).hexdigest(),
+        }
+        text = body + encode_record(trailer) + "\n"
         return _publish_file(self.result_path(key), text)
 
     # -- progress ---------------------------------------------------------
@@ -585,6 +649,36 @@ class ExperimentStore:
         report.partial = len(rows) < self.n_jobs
         return report
 
+    # -- tmp scavenging ---------------------------------------------------
+    def scavenge_tmp(self, max_age_s: float = 60.0) -> List[Path]:
+        """Remove crashed-write residue (``*.tmp<pid>`` siblings etc.).
+
+        A process killed between creating its temporary sibling and
+        the atomic rename/link leaves the tmp file behind forever.
+        Residue older than ``max_age_s`` (so nothing mid-flight on a
+        live worker is touched) is unlinked from the store root,
+        ``results/``, and ``leases/``. Returns the removed paths;
+        ``repro fsck`` reports the same residue as findings.
+        """
+        removed: List[Path] = []
+        now = time.time()
+        for directory in (self.root, self.results_dir, self.leases_dir):
+            try:
+                entries = list(directory.iterdir())
+            except OSError:  # pragma: no cover - defensive
+                continue
+            for entry in entries:
+                if not _RESIDUE_RE.search(entry.name):
+                    continue
+                try:
+                    if now - entry.stat().st_mtime < max_age_s:
+                        continue
+                    entry.unlink()
+                except OSError:  # pragma: no cover - racing writer
+                    continue
+                removed.append(entry)
+        return removed
+
     # -- worker shard ranks ----------------------------------------------
     def allocate_worker_shard(self) -> RunLedger:
         """Claim the lowest free worker rank via exclusive ledger-shard
@@ -611,6 +705,7 @@ class ExperimentStore:
         self,
         owner: Optional[str] = None,
         lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        scavenge_age_s: float = 60.0,
     ) -> bool:
         """Merge every published group into the canonical ledger.
 
@@ -618,8 +713,10 @@ class ExperimentStore:
         don't interleave appends; idempotent — already-merged jobs are
         skipped by the first-terminal-wins merge, so a finalizer dying
         mid-merge just leaves the rest for the next survivor. Worker
-        shards are swept afterwards. Returns True when this call held
-        the merge lease (even if there was nothing left to merge).
+        shards are swept afterwards, along with crashed-write tmp
+        residue older than ``scavenge_age_s``. Returns True when this
+        call held the merge lease (even if there was nothing left to
+        merge).
         """
         if not self.is_complete():
             return False
@@ -663,6 +760,13 @@ class ExperimentStore:
                     stray.unlink()
                 except OSError:  # pragma: no cover - best effort
                     pass
+            scavenged = self.scavenge_tmp(max_age_s=scavenge_age_s)
+            if scavenged:
+                obs.get_recorder().event(
+                    "runner.store.scavenged",
+                    store=str(self.root),
+                    removed=len(scavenged),
+                )
         finally:
             manager.release(lease)
         return True
@@ -830,6 +934,17 @@ def run_store_worker(
     lease_lost_fired: set = set()
     started = time.perf_counter()
     stop = False
+    # Registered io_* specs make this worker's durable writes go
+    # through a seeded IOFaultInjector for the duration of the loop,
+    # so disk chaos is part of the store's campaign description like
+    # every other fault family. (Installed after shard allocation: the
+    # worker's own bootstrap stays reliable; claims, appends, and
+    # publishes get the chaos.)
+    previous_shim: Optional[faults_io.IOShim] = None
+    if faults is not None and any(
+        spec.kind in IO_FAULTS for spec in faults.specs
+    ):
+        previous_shim = faults_io.install(faults_io.IOFaultInjector(faults))
     try:
         while not stop:
             progress = False
@@ -967,6 +1082,8 @@ def run_store_worker(
         shard.heartbeat(done=n_ok, failed=n_failed, total=n_ok + n_failed)
     finally:
         shard.close()
+        if previous_shim is not None:
+            faults_io.install(previous_shim)
     complete = store.is_complete()
     finalized = False
     if finalize and complete:

@@ -13,6 +13,7 @@ from repro.faults import (
     COUNTER_FAULTS,
     FAULT_KINDS,
     HOST_FAULTS,
+    IO_FAULTS,
     MACHINE_FAULTS,
     RECONFIG_FAULTS,
     STORE_FAULTS,
@@ -50,6 +51,7 @@ class TestFaultSpec:
             + MACHINE_FAULTS
             + HOST_FAULTS
             + STORE_FAULTS
+            + IO_FAULTS
         )
         assert len(set(FAULT_KINDS)) == len(FAULT_KINDS)
 

@@ -1,0 +1,320 @@
+"""Unit tests for the storage-fault I/O shim (:mod:`repro.faults.io`):
+site validation, install/restore discipline, the seeded
+:class:`IOFaultInjector` behaviors for every ``io_*`` kind, and the
+snapshot/restore + crash machinery the crash-point fuzzer builds on."""
+
+import errno
+import os
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultSchedule, FaultSpec
+from repro.faults.io import (
+    SITE_OPS,
+    SITES,
+    CrashPointShim,
+    IOFaultInjector,
+    IOShim,
+    RecordingShim,
+    SimulatedCrash,
+    _restore_tree,
+    _snapshot_tree,
+    get_shim,
+    install,
+    installed,
+)
+
+WRITE_SITE = "ledger.append.write"
+FSYNC_SITE = "ledger.append.fsync"
+REPLACE_SITE = "sinks.atomic.replace"
+LINK_SITE = "store.publish.link"
+RENAME_SITE = "lease.reclaim.rename"
+
+
+def _schedule(*specs, seed=0):
+    return FaultSchedule(specs=tuple(specs), seed=seed)
+
+
+class TestShimRegistry:
+    def test_every_site_has_an_op(self):
+        assert set(SITE_OPS) == set(SITES)
+        assert set(SITE_OPS.values()) <= {
+            "write",
+            "fsync",
+            "replace",
+            "link",
+            "rename",
+        }
+
+    def test_unknown_site_rejected_on_every_op(self, tmp_path):
+        shim = IOShim()
+        path = tmp_path / "f.txt"
+        path.write_text("x")
+        with path.open("a") as handle:
+            with pytest.raises(FaultError):
+                shim.write(handle, "y", site="not.a.site")
+        with pytest.raises(FaultError):
+            shim.replace(path, tmp_path / "g.txt", site="bogus")
+        fd = os.open(tmp_path, os.O_RDONLY)
+        try:
+            with pytest.raises(FaultError):
+                shim.fsync(fd, site="nope")
+        finally:
+            os.close(fd)
+
+    def test_default_shim_inactive_passthrough(self, tmp_path):
+        shim = get_shim()
+        assert shim.active is False
+        path = tmp_path / "f.txt"
+        with path.open("w") as handle:
+            shim.write(handle, "hello", site=WRITE_SITE)
+        assert path.read_text() == "hello"
+
+
+class TestInstall:
+    def test_install_returns_previous_and_none_restores_default(self):
+        default = get_shim()
+        shim = RecordingShim()
+        previous = install(shim)
+        try:
+            assert previous is default
+            assert get_shim() is shim
+        finally:
+            install(None)
+        assert get_shim() is default
+
+    def test_installed_context_restores_on_exception(self):
+        default = get_shim()
+        shim = RecordingShim()
+        with pytest.raises(RuntimeError):
+            with installed(shim):
+                assert get_shim() is shim
+                raise RuntimeError("boom")
+        assert get_shim() is default
+
+
+class TestRecordingShim:
+    def test_records_ops_and_sites_while_performing_them(self, tmp_path):
+        shim = RecordingShim()
+        path = tmp_path / "f.txt"
+        with path.open("w") as handle:
+            shim.write(handle, "a", site=WRITE_SITE)
+            shim.fsync(handle.fileno(), site=FSYNC_SITE)
+        src = tmp_path / "src.txt"
+        src.write_text("s")
+        shim.replace(src, tmp_path / "dst.txt", site=REPLACE_SITE)
+        assert path.read_text() == "a"
+        assert (tmp_path / "dst.txt").read_text() == "s"
+        assert shim.ops == [
+            ("write", WRITE_SITE),
+            ("fsync", FSYNC_SITE),
+            ("replace", REPLACE_SITE),
+        ]
+        assert shim.sites_seen == {WRITE_SITE, FSYNC_SITE, REPLACE_SITE}
+
+
+class TestIOFaultInjector:
+    def test_requires_schedule(self):
+        with pytest.raises(FaultError):
+            IOFaultInjector({"kind": "io_eio"})
+
+    def test_enospc_and_eio_raise_with_errno(self, tmp_path):
+        for kind, expected in (
+            ("io_enospc", errno.ENOSPC),
+            ("io_eio", errno.EIO),
+        ):
+            shim = IOFaultInjector(_schedule(FaultSpec(kind=kind, rate=1.0)))
+            path = tmp_path / f"{kind}.txt"
+            with path.open("w") as handle:
+                with pytest.raises(OSError) as caught:
+                    shim.write(handle, "data", site=WRITE_SITE)
+            assert caught.value.errno == expected
+            assert shim.counts == {kind: 1}
+
+    def test_torn_write_persists_seeded_prefix_then_raises_eio(
+        self, tmp_path
+    ):
+        record = "x" * 64 + "\n"
+        shim = IOFaultInjector(
+            _schedule(FaultSpec(kind="io_torn_write", rate=1.0, seed=7))
+        )
+        path = tmp_path / "torn.txt"
+        with path.open("w") as handle:
+            with pytest.raises(OSError) as caught:
+                shim.write(handle, record, site=WRITE_SITE)
+        assert caught.value.errno == errno.EIO
+        persisted = path.read_text()
+        assert persisted == record[: len(persisted)]
+        assert len(persisted) < len(record)
+        # Same pinned spec seed => same prefix length.
+        again = IOFaultInjector(
+            _schedule(FaultSpec(kind="io_torn_write", rate=1.0, seed=7))
+        )
+        path2 = tmp_path / "torn2.txt"
+        with path2.open("w") as handle:
+            with pytest.raises(OSError):
+                again.write(handle, record, site=WRITE_SITE)
+        assert path2.read_text() == persisted
+
+    def test_rename_lost_silently_drops_the_entry(self, tmp_path):
+        shim = IOFaultInjector(
+            _schedule(FaultSpec(kind="io_rename_lost", rate=1.0))
+        )
+        src = tmp_path / "src.txt"
+        src.write_text("s")
+        shim.replace(src, tmp_path / "dst.txt", site=REPLACE_SITE)
+        assert not (tmp_path / "dst.txt").exists()
+        shim.link(src, tmp_path / "linked.txt", site=LINK_SITE)
+        assert not (tmp_path / "linked.txt").exists()
+        shim.rename(src, tmp_path / "moved.txt", site=RENAME_SITE)
+        assert not (tmp_path / "moved.txt").exists()
+        assert src.exists()
+        assert shim.counts == {"io_rename_lost": 3}
+
+    def test_fsync_lie_skips_the_sync(self, tmp_path):
+        shim = IOFaultInjector(
+            _schedule(FaultSpec(kind="io_fsync_lie", rate=1.0))
+        )
+        path = tmp_path / "f.txt"
+        with path.open("w") as handle:
+            handle.write("data")
+            handle.flush()
+            shim.fsync(handle.fileno(), site=FSYNC_SITE)
+        assert shim.counts == {"io_fsync_lie": 1}
+        assert [f.kind for f in shim.fired] == ["io_fsync_lie"]
+
+    def test_kind_only_fires_on_matching_op(self, tmp_path):
+        shim = IOFaultInjector(
+            _schedule(FaultSpec(kind="io_enospc", rate=1.0))
+        )
+        src = tmp_path / "src.txt"
+        src.write_text("s")
+        shim.replace(src, tmp_path / "dst.txt", site=REPLACE_SITE)
+        assert (tmp_path / "dst.txt").exists()
+        assert shim.counts == {}
+
+    def test_op_index_windows_gate_firing(self, tmp_path):
+        shim = IOFaultInjector(
+            _schedule(
+                FaultSpec(
+                    kind="io_eio", rate=1.0, start_epoch=1, end_epoch=2
+                )
+            )
+        )
+        path = tmp_path / "f.txt"
+        with path.open("w") as handle:
+            shim.write(handle, "a", site=WRITE_SITE)  # op 0: before window
+            with pytest.raises(OSError):
+                shim.write(handle, "b", site=WRITE_SITE)  # op 1: inside
+            shim.write(handle, "c", site=WRITE_SITE)  # op 2: after
+        assert path.read_text() == "ac"
+        assert [f.index for f in shim.fired] == [1]
+
+    def test_seeded_streams_are_deterministic(self, tmp_path):
+        spec = FaultSpec(kind="io_eio", rate=0.4)
+
+        def fire_pattern(seed):
+            shim = IOFaultInjector(_schedule(spec, seed=seed))
+            pattern = []
+            path = tmp_path / f"seed{seed}.txt"
+            with path.open("w") as handle:
+                for _ in range(40):
+                    try:
+                        shim.write(handle, ".", site=WRITE_SITE)
+                        pattern.append(False)
+                    except OSError:
+                        pattern.append(True)
+            return pattern
+
+        first = fire_pattern(11)
+        assert first == fire_pattern(11)
+        assert any(first) and not all(first)
+        assert first != fire_pattern(12)
+
+    def test_non_io_specs_ignored(self, tmp_path):
+        shim = IOFaultInjector(
+            _schedule(
+                FaultSpec(kind="job_crash", rate=1.0),
+                FaultSpec(kind="io_eio", rate=1.0),
+            )
+        )
+        path = tmp_path / "f.txt"
+        with path.open("w") as handle:
+            with pytest.raises(OSError):
+                shim.write(handle, "a", site=WRITE_SITE)
+        assert shim.counts == {"io_eio": 1}
+
+    def test_unknown_site_rejected_before_firing(self, tmp_path):
+        shim = IOFaultInjector(
+            _schedule(FaultSpec(kind="io_eio", rate=1.0))
+        )
+        path = tmp_path / "f.txt"
+        with path.open("w") as handle:
+            with pytest.raises(FaultError):
+                shim.write(handle, "a", site="made.up")
+        assert shim.fired == []
+
+
+class TestSnapshotRestore:
+    def test_round_trip_restores_bytes_and_empty_dirs(self, tmp_path):
+        root = tmp_path / "tree"
+        (root / "sub").mkdir(parents=True)
+        (root / "empty").mkdir()
+        (root / "a.txt").write_bytes(b"alpha")
+        (root / "sub" / "b.bin").write_bytes(b"\x00\xff")
+        snapshot = _snapshot_tree(root)
+        (root / "a.txt").write_bytes(b"mutated")
+        (root / "sub" / "c.txt").write_text("extra")
+        (root / "empty").rmdir()
+        _restore_tree(root, snapshot)
+        assert (root / "a.txt").read_bytes() == b"alpha"
+        assert (root / "sub" / "b.bin").read_bytes() == b"\x00\xff"
+        assert not (root / "sub" / "c.txt").exists()
+        assert (root / "empty").is_dir()
+
+
+class TestCrashPointShim:
+    def test_crash_after_completes_op_then_raises(self, tmp_path):
+        root = tmp_path / "root"
+        root.mkdir()
+        shim = CrashPointShim(root, crash_at=1, variant="after")
+        path = root / "f.txt"
+        with path.open("w") as handle:
+            shim.write(handle, "one\n", site=WRITE_SITE)  # op 0
+            with pytest.raises(SimulatedCrash) as caught:
+                shim.write(handle, "two\n", site=WRITE_SITE)  # op 1
+        crash = caught.value
+        assert (crash.op, crash.site, crash.index) == (
+            "write",
+            WRITE_SITE,
+            1,
+        )
+        # The dying write completed and was flushed into the snapshot.
+        assert crash.snapshot["f.txt"] == b"one\ntwo\n"
+
+    def test_torn_variant_snapshots_a_prefix(self, tmp_path):
+        root = tmp_path / "root"
+        root.mkdir()
+        shim = CrashPointShim(root, crash_at=0, variant="torn")
+        path = root / "f.txt"
+        record = "0123456789\n"
+        with path.open("w") as handle:
+            with pytest.raises(SimulatedCrash) as caught:
+                shim.write(handle, record, site=WRITE_SITE)
+        torn = caught.value.snapshot["f.txt"]
+        assert torn == record.encode()[: len(torn)]
+        assert 0 < len(torn) < len(record)
+
+    def test_rejects_unknown_variant(self, tmp_path):
+        with pytest.raises(FaultError):
+            CrashPointShim(tmp_path, crash_at=0, variant="sideways")
+
+    def test_not_crashing_is_a_passthrough(self, tmp_path):
+        root = tmp_path / "root"
+        root.mkdir()
+        shim = CrashPointShim(root, crash_at=99)
+        src = root / "src.txt"
+        src.write_text("s")
+        shim.rename(src, root / "dst.txt", site=RENAME_SITE)
+        assert (root / "dst.txt").read_text() == "s"
