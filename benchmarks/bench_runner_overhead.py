@@ -286,3 +286,110 @@ def test_store_fabric_overhead(benchmark, emit):
         f"plain runner (budget {MAX_STORE_OVERHEAD_S * 1e3:.1f} ms)"
     )
     run_once(benchmark, fabric)
+
+
+# ---------------------------------------------------------------------------
+#: Required steady-state speedup of the fast path (REPRO_FASTPATH=1,
+#: the default) over the scalar reference on the Table-5 campaign.
+MIN_FASTPATH_SPEEDUP = 10.0
+
+#: Table-heavy scheme set: every scheme that walks the epoch x config
+#: table, where the vectorized grid and the transition-cost memos do
+#: their work. (SparseAdapt's sequential controller loop is measured by
+#: the equivalence suite instead; its training cost would swamp this
+#: wall-clock comparison with work both legs share.)
+FASTPATH_SCHEMES = (
+    "Baseline",
+    "Best Avg",
+    "Max Cfg",
+    "Ideal Static",
+    "Ideal Greedy",
+    "Oracle",
+)
+
+
+def _run_table5_campaign(fast: bool):
+    from repro import fastpath
+    from repro.runner import run_plan, table5_plan
+
+    plan = table5_plan(scale=0.15, schemes=FASTPATH_SCHEMES)
+    with fastpath.overridden(fast):
+        report = run_plan(plan, config=SupervisorConfig(max_retries=0))
+    assert report.counts() == {"ok": 16, "failed": 0}
+    return report
+
+
+def _report_bytes(report) -> bytes:
+    """Canonical bytes of a campaign report, wall-clock fields dropped."""
+    import json
+
+    rows = [
+        {k: v for k, v in row.items() if k != "duration_s"}
+        for row in report.rows
+    ]
+    return json.dumps(rows, sort_keys=True).encode()
+
+
+def test_fastpath_speedup(benchmark, emit):
+    """The fast path must buy >= 10x on the Table-5 campaign — and
+    change nothing.
+
+    Steady-state regime: traces and transition-cost memos warm, the
+    repeated-evaluation shape of real campaigns (sweeps, compare runs,
+    resume). The cold first pass is reported for honesty but not
+    asserted — it is dominated by trace synthesis, which both legs
+    share. Byte-identical reports across the legs are the safety rail:
+    a vectorization that drifts by one ulp fails here before it can
+    skew a paper table.
+    """
+    import time
+
+    start = time.perf_counter()
+    report_cold_scalar = _run_table5_campaign(fast=False)
+    cold_scalar_s = time.perf_counter() - start
+    start = time.perf_counter()
+    report_cold_fast = _run_table5_campaign(fast=True)
+    cold_fast_s = time.perf_counter() - start
+
+    from benchmarks.conftest import interleaved_best_of
+
+    times = {}
+    reports = {}
+
+    def leg(fast: bool) -> None:
+        start = time.perf_counter()
+        reports[fast] = _run_table5_campaign(fast=fast)
+        times[fast] = min(
+            times.get(fast, float("inf")), time.perf_counter() - start
+        )
+
+    interleaved_best_of(lambda: leg(True), lambda: leg(False), repeats=3)
+    fast_s, scalar_s = times[True], times[False]
+    speedup = scalar_s / fast_s
+
+    emit(
+        "\n".join(
+            [
+                "fast-path speedup (table-5 campaign, 16 jobs, "
+                f"{len(FASTPATH_SCHEMES)} table-heavy schemes)",
+                f"  cold:   scalar {cold_scalar_s:6.3f}s   "
+                f"fast {cold_fast_s:6.3f}s  "
+                f"({cold_scalar_s / cold_fast_s:5.2f}x, trace "
+                f"synthesis dominates, not asserted)",
+                f"  steady: scalar {scalar_s:6.3f}s   "
+                f"fast {fast_s:6.3f}s  ({speedup:5.2f}x, floor "
+                f"{MIN_FASTPATH_SPEEDUP:.0f}x)",
+                "  reports byte-identical across both legs and both "
+                "regimes",
+            ]
+        )
+    )
+    reference = _report_bytes(report_cold_scalar)
+    assert _report_bytes(report_cold_fast) == reference
+    assert _report_bytes(reports[False]) == reference
+    assert _report_bytes(reports[True]) == reference
+    assert speedup >= MIN_FASTPATH_SPEEDUP, (
+        f"fast path sped the table-5 campaign up only {speedup:.2f}x "
+        f"(need >= {MIN_FASTPATH_SPEEDUP:.0f}x steady-state)"
+    )
+    run_once(benchmark, lambda: _run_table5_campaign(fast=True))

@@ -22,6 +22,13 @@ from repro.transmuter.reconfig import reconfiguration_cost
 
 __all__ = ["EpochTable"]
 
+#: Fast-path memo for whole transition matrices: the matrices are a pure
+#: function of the sampled config set, the machine geometry, and the
+#: table's dirty-bytes bound, and campaigns rebuild tables over the same
+#: sampled set for every job/scheme.
+_MATRICES_MEMO: Dict[tuple, tuple] = {}
+_MATRICES_MEMO_MAX = 64
+
 
 class EpochTable:
     """Dense table of machine-model results for a trace.
@@ -63,19 +70,32 @@ class EpochTable:
         }
         n_epochs = len(trace.epochs)
         n_configs = len(self.configs)
-        self.results: List[List[EpochResult]] = [
-            [
-                machine.simulate_epoch(workload, config)
-                for config in self.configs
+        from repro import fastpath
+
+        if fastpath.batch_active():
+            # One vectorized pass over the whole epoch x config grid;
+            # EpochResult cells materialize lazily as schemes index them
+            # (bit-identical to the scalar loop, see repro.fastpath).
+            from repro.fastpath.epochs import EpochGrid
+
+            grid = EpochGrid(machine, trace.epochs, self.configs)
+            self.results = grid.rows()
+            self.times = grid.times
+            self.energies = grid.energies
+        else:
+            self.results = [
+                [
+                    machine.simulate_epoch(workload, config)
+                    for config in self.configs
+                ]
+                for workload in trace.epochs
             ]
-            for workload in trace.epochs
-        ]
-        self.times = np.array(
-            [[r.time_s for r in row] for row in self.results]
-        )
-        self.energies = np.array(
-            [[r.energy_j for r in row] for row in self.results]
-        )
+            self.times = np.array(
+                [[r.time_s for r in row] for row in self.results]
+            )
+            self.energies = np.array(
+                [[r.energy_j for r in row] for row in self.results]
+            )
         assert self.times.shape == (n_epochs, n_configs)
         # Dirty-data bound for flush costs: the typical bytes written
         # into the hierarchy per epoch (see reconfiguration_cost).
@@ -142,6 +162,21 @@ class EpochTable:
 
     def reconfig_matrices(self) -> tuple:
         """(time, energy) transition matrices over the sampled configs."""
+        from repro import fastpath
+
+        memo_key = None
+        if fastpath.enabled():
+            memo_key = (
+                tuple(self.configs),
+                self.machine.power.n_tiles,
+                self.machine.power.gpes_per_tile,
+                self.bandwidth_gbps,
+                self.dirty_bytes_hint,
+            )
+            cached = _MATRICES_MEMO.get(memo_key)
+            if cached is not None:
+                times, energies = cached
+                return times.copy(), energies.copy()
         n = self.n_configs
         times = np.zeros((n, n))
         energies = np.zeros((n, n))
@@ -152,4 +187,8 @@ class EpochTable:
                 times[i, j], energies[i, j] = self.reconfig_time_energy(
                     source, target
                 )
+        if memo_key is not None:
+            if len(_MATRICES_MEMO) >= _MATRICES_MEMO_MAX:
+                _MATRICES_MEMO.clear()
+            _MATRICES_MEMO[memo_key] = (times.copy(), energies.copy())
         return times, energies

@@ -183,6 +183,26 @@ class SparseAdaptController:
         #: Robustness statistics of the most recent :meth:`run` call
         #: (``None`` before the first run). Purely observational.
         self.last_run_stats: Optional[Dict[str, object]] = None
+        # (config, counters) -> predicted config. model.predict is a
+        # pure function of its two (hashable, frozen) arguments, so the
+        # bucket is the exact key — memoized decisions are bit-identical
+        # by construction. Invalidated when model/policy are swapped.
+        self._decision_memo: Dict[tuple, HardwareConfig] = {}
+        self._memo_token: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    def invalidate_memo(self) -> None:
+        """Drop memoized decisions (call after mutating model/policy
+        in place; swapping the objects invalidates automatically)."""
+        self._decision_memo.clear()
+        self._memo_token = None
+
+    def _check_memo_token(self) -> None:
+        """Invalidate the decision memo if model or policy changed."""
+        token = (id(self.model), id(self.policy))
+        if token != self._memo_token:
+            self._decision_memo.clear()
+            self._memo_token = token
 
     # ------------------------------------------------------------------
     @property
@@ -211,6 +231,18 @@ class SparseAdaptController:
         overhead = host_decision_overhead_s()
         recorder = obs.get_recorder()
         traced = recorder.enabled
+        from repro import fastpath
+
+        memo: Optional[Dict[tuple, HardwareConfig]] = None
+        if fastpath.enabled() and not traced:
+            self._check_memo_token()
+            memo = self._decision_memo
+            memo_hits = obs.metrics.counter(
+                "fastpath.memo_hits", "controller decision-memo hits"
+            )
+            memo_misses = obs.metrics.counter(
+                "fastpath.memo_misses", "controller decision-memo misses"
+            )
         if traced:
             start_payload: Dict[str, object] = dict(
                 scheme="sparseadapt",
@@ -387,6 +419,26 @@ class SparseAdaptController:
                         dirty_bytes_hint=dirty_hint,
                     )
                     t3 = perf_counter()
+                elif memo is not None:
+                    memo_key = (config, counters)
+                    predicted = memo.get(memo_key)
+                    if predicted is None:
+                        predicted = self.model.predict(counters, config)
+                        memo[memo_key] = predicted
+                        memo_misses.inc()
+                    else:
+                        memo_hits.inc()
+                    # The policy filter is NOT memoized: its verdicts
+                    # depend on last_epoch_time/dirty_hint, which vary
+                    # epoch to epoch.
+                    applied = self.policy.filter(
+                        current=config,
+                        predicted=predicted,
+                        last_epoch_time_s=last_epoch_time,
+                        power=self.machine.power,
+                        bandwidth_gbps=self.bandwidth_gbps,
+                        dirty_bytes_hint=dirty_hint,
+                    )
                 else:
                     predicted = self.model.predict(counters, config)
                     applied = self.policy.filter(

@@ -104,6 +104,46 @@ def _epoch_metric(
     )
 
 
+def _batch_results(
+    machine: TransmuterModel,
+    workload: EpochWorkload,
+    configs: Sequence[HardwareConfig],
+) -> List:
+    """Simulate one workload under many configs, batched when allowed."""
+    from repro import fastpath
+
+    if len(configs) > 1 and fastpath.batch_active():
+        from repro.fastpath.epochs import simulate_configs
+
+        return simulate_configs(machine, workload, list(configs))
+    return [machine.simulate_epoch(workload, cfg) for cfg in configs]
+
+
+def _argbest(
+    machine: TransmuterModel,
+    workload: EpochWorkload,
+    configs: Sequence[HardwareConfig],
+    mode: OptimizationMode,
+) -> HardwareConfig:
+    """First configuration with the strictly greatest metric.
+
+    Mirrors ``max(configs, key=...)``: on ties the earliest candidate
+    wins, so batched and scalar searches pick the same configuration.
+    """
+    results = _batch_results(machine, workload, configs)
+    flops = max(workload.flops, 1.0)
+    best = configs[0]
+    best_score = metric_value(
+        mode, flops, results[0].time_s, results[0].energy_j
+    )
+    for config, result in zip(configs[1:], results[1:]):
+        score = metric_value(mode, flops, result.time_s, result.energy_j)
+        if score > best_score:
+            best_score = score
+            best = config
+    return best
+
+
 def find_best_config(
     machine: TransmuterModel,
     workload: EpochWorkload,
@@ -114,14 +154,10 @@ def find_best_config(
 ) -> HardwareConfig:
     """Three-step best-configuration search of Figure 4a."""
     samples = sample_configs(k_samples, l1_type=l1_type, seed=seed)
-    best = max(
-        samples, key=lambda cfg: _epoch_metric(machine, workload, cfg, mode)
-    )
+    best = _argbest(machine, workload, samples, mode)
     # Step 2: one-step neighbourhood.
     candidates = [best] + neighbors(best)
-    best = max(
-        candidates, key=lambda cfg: _epoch_metric(machine, workload, cfg, mode)
-    )
+    best = _argbest(machine, workload, candidates, mode)
     # Step 3: independent dimension sweeps from the neighbourhood optimum.
     from repro.transmuter import config as config_space
 
@@ -133,6 +169,22 @@ def find_best_config(
         "clock_mhz": config_space.CLOCKS_MHZ,
         "prefetch": config_space.PREFETCH_LEVELS,
     }
+    # The sweeps are independent by construction, so all candidates
+    # across all parameters can be simulated as one batch.
+    sweep: List[tuple] = []
+    for parameter in RUNTIME_PARAMETERS:
+        if l1_type == "spm" and parameter == "l1_kb":
+            continue
+        for value in values_by_parameter[parameter]:
+            sweep.append((parameter, value, best.with_value(parameter, value)))
+    results = _batch_results(machine, workload, [c for _, _, c in sweep])
+    flops = max(workload.flops, 1.0)
+    scores = {
+        (parameter, value): metric_value(
+            mode, flops, result.time_s, result.energy_j
+        )
+        for (parameter, value, _), result in zip(sweep, results)
+    }
     chosen = {}
     for parameter in RUNTIME_PARAMETERS:
         if l1_type == "spm" and parameter == "l1_kb":
@@ -141,8 +193,7 @@ def find_best_config(
         best_value = None
         best_score = -np.inf
         for value in values_by_parameter[parameter]:
-            candidate = best.with_value(parameter, value)
-            score = _epoch_metric(machine, workload, candidate, mode)
+            score = scores[(parameter, value)]
             if score > best_score:
                 best_score = score
                 best_value = value
@@ -258,8 +309,9 @@ def build_training_set(
         samples = sample_configs(
             k_samples, l1_type=phase.l1_type, seed=phase_seed
         )
-        for config in samples:
-            result = phase.machine.simulate_epoch(phase.workload, config)
+        for config, result in zip(
+            samples, _batch_results(phase.machine, phase.workload, samples)
+        ):
             feature_rows.append(build_features(result.counters, config))
             for name in RUNTIME_PARAMETERS:
                 label_rows[name].append(best.get(name))

@@ -73,14 +73,57 @@ class SparseAdaptModel:
                 f"got {current.l1_type!r}"
             )
         with obs_profile.span("forest_inference"):
-            row = build_features(counters, current).reshape(1, -1)
+            row = build_features(counters, current)
+            tables = self.compiled_tables()
             values = {}
-            for name in self.predicted_parameters():
-                prediction = self.trees[name].predict(row)[0]
-                values[name] = self._coerce(name, prediction)
+            if tables is None:
+                batch = row.reshape(1, -1)
+                for name in self.predicted_parameters():
+                    prediction = self.trees[name].predict(batch)[0]
+                    values[name] = self._coerce(name, prediction)
+            else:
+                row_list = row.tolist()
+                for name in self.predicted_parameters():
+                    table = tables.get(name)
+                    if table is None:  # estimator without a compiled form
+                        prediction = self.trees[name].predict(
+                            row.reshape(1, -1)
+                        )[0]
+                    else:
+                        prediction = table.predict_row(row_list)
+                    values[name] = self._coerce(name, prediction)
             if self.l1_type == "spm":
                 values["l1_kb"] = SPM_FIXED_L1_KB
             return HardwareConfig(l1_type=self.l1_type, **values)
+
+    def compiled_tables(self) -> Optional[Dict[str, object]]:
+        """Flat decision tables for this ensemble, or ``None``.
+
+        Compiled lazily on first use when the fast path is enabled and
+        cached on the instance; the cache is invalidated automatically
+        when any per-parameter estimator object is replaced (retraining
+        builds new estimators, so identity tracks model changes).
+        """
+        from repro import fastpath
+
+        if not fastpath.enabled():
+            return None
+        token = tuple(
+            (name, id(self.trees[name]))
+            for name in self.predicted_parameters()
+        )
+        cached = getattr(self, "_compiled_cache", None)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        from repro.fastpath.tables import compile_forest
+
+        tables = compile_forest(self)
+        self._compiled_cache = (token, tables)
+        return tables
+
+    def invalidate_compiled(self) -> None:
+        """Drop the compiled-table cache (e.g. after editing trees)."""
+        self._compiled_cache = None
 
     def predict_with_provenance(
         self,

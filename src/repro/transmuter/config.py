@@ -200,6 +200,11 @@ def runtime_space(l1_type: str = "cache") -> List[HardwareConfig]:
     ]
 
 
+#: Fast-path memo for seeded samples (the sample is a pure function of
+#: its arguments when a seed is given).
+_SAMPLE_MEMO: Dict[tuple, tuple] = {}
+
+
 def sample_configs(
     count: int,
     l1_type: str = "cache",
@@ -212,6 +217,14 @@ def sample_configs(
     into the sample so comparisons share the same evaluated set, matching
     the paper's S=256 sampled space (Appendix A.7).
     """
+    from repro import fastpath
+
+    memo_key = None
+    if seed is not None and fastpath.enabled():
+        memo_key = (count, l1_type, seed, tuple(include))
+        cached = _SAMPLE_MEMO.get(memo_key)
+        if cached is not None:
+            return list(cached)
     space = runtime_space(l1_type)
     forced = [cfg for cfg in include if cfg in set(space)]
     rng = np.random.default_rng(seed)
@@ -220,7 +233,12 @@ def sample_configs(
     extra = max(0, count - len(forced))
     picked_idx = rng.choice(len(remaining), size=extra, replace=False)
     sample = forced + [remaining[i] for i in picked_idx]
-    return sample[:count] if len(sample) > count else sample
+    sample = sample[:count] if len(sample) > count else sample
+    if memo_key is not None:
+        if len(_SAMPLE_MEMO) >= 256:
+            _SAMPLE_MEMO.clear()
+        _SAMPLE_MEMO[memo_key] = tuple(sample)
+    return sample
 
 
 def neighbors(config: HardwareConfig, runtime_only: bool = True) -> List[HardwareConfig]:

@@ -1,15 +1,30 @@
-"""Fast smoke tests of every figure driver at tiny scales.
+"""Fast smoke tests of every figure driver at tiny scales, plus the
+golden-report regression rail.
 
 The benchmarks exercise the drivers at their reporting scales; these
 tests only verify that each driver runs end to end and returns the
 structure its benchmark consumes, so a driver regression fails the test
 suite, not just the (slower) benchmark run.
+
+``TestGoldenReports`` pins small canonical CLI reports (``run``,
+``suite-run``/``suite-report``, ``compare``) that were generated once
+from the scalar reference path and checked in under ``tests/golden/``.
+Both the scalar and the fast path must reproduce them byte-for-byte:
+any drift — a model change, a vectorization that rounds differently, a
+formatting change — fails here with a diff against the recorded bytes.
+Regenerate intentionally with REPRO_FASTPATH=0 (see docs/performance.md).
 """
+
+import pathlib
 
 import pytest
 
+from repro import fastpath
+from repro.cli import main
 from repro.experiments import figures
 from repro.sparse import suite
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
 
 class TestDriverSmoke:
@@ -105,3 +120,74 @@ class TestDriverSmoke:
     def test_section7(self):
         result = figures.section7_regular_kernels(n_samples=24)
         assert set(result) == {"gemm", "conv"}
+
+
+# ---------------------------------------------------------------------------
+# Golden-report regression fixtures
+# ---------------------------------------------------------------------------
+def _normalize_suite_report(text: str) -> str:
+    """Drop the wall-clock fields a ledger summary legitimately varies
+    in (the ledger's own path and the summed job time)."""
+    lines = []
+    for line in text.splitlines():
+        if line.startswith("Ledger "):
+            lines.append("Ledger <LEDGER> — " + line.split(" — ", 1)[1])
+        elif "job time" in line:
+            continue
+        else:
+            lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+@pytest.mark.parametrize("fast", [False, True], ids=["scalar", "fastpath"])
+class TestGoldenReports:
+    def test_run_report_matches_golden(self, fast, capsys):
+        golden = (GOLDEN_DIR / "run_spmspm_R03_ee.txt").read_text()
+        with fastpath.overridden(fast):
+            assert (
+                main(
+                    [
+                        "run",
+                        "--kernel",
+                        "spmspm",
+                        "--matrix",
+                        "R03",
+                        "--scale",
+                        "0.1",
+                        "--mode",
+                        "ee",
+                        "--upper-bounds",
+                    ]
+                )
+                == 0
+            )
+        assert capsys.readouterr().out == golden
+
+    def test_suite_and_compare_match_golden(self, fast, tmp_path, capsys):
+        spec = GOLDEN_DIR / "statics_spec.json"
+        ledger = tmp_path / "golden.jsonl"
+        with fastpath.overridden(fast):
+            assert (
+                main(
+                    [
+                        "suite-run",
+                        "--spec",
+                        str(spec),
+                        "--ledger",
+                        str(ledger),
+                    ]
+                )
+                == 0
+            )
+            suite_run_out = capsys.readouterr().out
+            assert main(["compare", str(spec), str(ledger)]) == 0
+            compare_out = capsys.readouterr().out
+            assert main(["suite-report", str(ledger)]) == 0
+            report_out = capsys.readouterr().out
+        assert suite_run_out == (
+            GOLDEN_DIR / "suite_run_statics.txt"
+        ).read_text()
+        assert compare_out == (GOLDEN_DIR / "compare_statics.txt").read_text()
+        assert _normalize_suite_report(report_out) == (
+            GOLDEN_DIR / "suite_report_statics.txt"
+        ).read_text()

@@ -395,3 +395,57 @@ class TestProvenanceRecords:
             traced.schedule.config_sequence()
             == untraced.schedule.config_sequence()
         )
+
+
+class TestFastpathTraceParity:
+    """The fast path must not change what a traced run *says* either:
+    the provenance stream and the policy-verdict counters are part of
+    the reproduction record, so both legs must emit identical ones.
+
+    (Traced runs deliberately route through the scalar
+    ``predict_with_provenance``/``filter_with_verdicts`` path even with
+    the fast path enabled — this diff is the assertion that keeps that
+    contract honest.)
+    """
+
+    def _traced_run(self, runtime, matrix, vector, fast):
+        from repro import fastpath
+        from repro.obs import metrics
+
+        with fastpath.overridden(fast):
+            metrics.reset()
+            try:
+                with obs.recording(None) as recorder:
+                    outcome = runtime.spmspv(matrix, vector)
+                provenance = [
+                    dict(r["attrs"])
+                    for r in recorder.sink.records()
+                    if r["name"] == "provenance"
+                ]
+                verdicts = metrics.snapshot().get(
+                    "controller.policy_verdicts"
+                )
+            finally:
+                metrics.reset()
+        return outcome, provenance, verdicts
+
+    def test_provenance_and_verdicts_identical(
+        self, runtime, matrix, vector
+    ):
+        fast_outcome, fast_prov, fast_verdicts = self._traced_run(
+            runtime, matrix, vector, fast=True
+        )
+        scalar_outcome, scalar_prov, scalar_verdicts = self._traced_run(
+            runtime, matrix, vector, fast=False
+        )
+        assert fast_prov, "traced run emitted no provenance events"
+        assert fast_prov == scalar_prov
+        assert fast_verdicts is not None
+        assert fast_verdicts == scalar_verdicts
+        assert (
+            fast_outcome.schedule.summary()
+            == scalar_outcome.schedule.summary()
+        )
+        assert fast_outcome.schedule.config_sequence() == (
+            scalar_outcome.schedule.config_sequence()
+        )
